@@ -1,0 +1,154 @@
+// Ablations of the connected-components design choices DESIGN.md calls
+// out, all on the same workloads:
+//   * limited (borders-only) vs full per-iteration relabeling — the
+//     paper's core novelty;
+//   * shadow manager on/off (Section 5.3);
+//   * eq. (9) transpose-based change distribution vs naive direct fetch
+//     (Section 5.4);
+//   * the whole algorithm vs the label-propagation baseline (rounds vs
+//     log p merge phases).
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace histcc;
+
+struct Variant {
+  const char* name;
+  cc::CcOptions options;
+};
+
+void run_workload(const char* title, const img::GreyImage& image,
+                  ccseq::ColourRule rule, std::uint32_t p) {
+  const auto profile = splitc::cm5();
+  std::printf("%s (p = %u, %ux%u)\n", title, p, image.height(),
+              image.width());
+  bench::rule();
+  std::printf("%-28s | %10s %10s | %10s %8s\n", "variant", "model comp",
+              "model comm", "words", "wall");
+  bench::rule();
+
+  std::vector<Variant> variants;
+  {
+    cc::CcOptions base;
+    base.rule = rule;
+    variants.push_back({"paper (limited relabel)", base});
+    auto v = base;
+    v.full_relabel_each_phase = true;
+    variants.push_back({"full relabel every phase", v});
+    v = base;
+    v.use_shadow_manager = false;
+    variants.push_back({"no shadow manager", v});
+    v = base;
+    v.eq9_distribution = false;
+    variants.push_back({"direct change distribution", v});
+  }
+
+  splitc::Machine machine(p);
+  for (const auto& variant : variants) {
+    util::Timer timer;
+    (void)cc::connected_components_parallel(machine, image, variant.options);
+    const double wall = timer.seconds();
+    const auto modeled = bench::model(machine, profile);
+    std::printf("%-28s | %8.1fms %8.2fms | %10llu %6.1fms\n", variant.name,
+                modeled.comp_s * 1e3, modeled.comm_s * 1e3,
+                static_cast<unsigned long long>(machine.max_stats().words),
+                wall * 1e3);
+  }
+
+  // The replicated complete-image-per-PE baseline (Table 2's other
+  // divide-and-conquer family): no merge phase, but 2n^2 words of
+  // broadcast and unscaled computation.
+  {
+    util::Timer timer;
+    (void)cc::connected_components_replicated(
+        machine, image, ccseq::Connectivity::kEight, rule);
+    const double wall = timer.seconds();
+    const auto modeled = bench::model(machine, profile);
+    std::printf("%-28s | %8.1fms %8.2fms | %10llu %6.1fms\n",
+                "replicated (image per PE)", modeled.comp_s * 1e3,
+                modeled.comm_s * 1e3,
+                static_cast<unsigned long long>(machine.max_stats().words),
+                wall * 1e3);
+  }
+
+  // The label-propagation baseline, with its round count.
+  {
+    util::Timer timer;
+    cc::LabelPropStats stats;
+    (void)cc::connected_components_label_prop(
+        machine, image, ccseq::Connectivity::kEight, rule, &stats);
+    const double wall = timer.seconds();
+    const auto modeled = bench::model(machine, profile);
+    char name[64];
+    std::snprintf(name, sizeof name, "label propagation (%u rounds)",
+                  stats.rounds);
+    std::printf("%-28s | %8.1fms %8.2fms | %10llu %6.1fms\n", name,
+                modeled.comp_s * 1e3, modeled.comm_s * 1e3,
+                static_cast<unsigned long long>(machine.max_stats().words),
+                wall * 1e3);
+  }
+  bench::rule();
+  std::printf("\n");
+}
+
+}  // namespace
+
+void distribution_p_sweep() {
+  // Section 5.4's point: the naive distribution makes all 2^t - 1 clients
+  // fetch the full change list from one manager — (2^t - 1) * c words per
+  // group — where eq. (9) moves ~2c per group in two balanced rounds.
+  // The total network load (sum over processors) shows it directly; the
+  // per-processor max is unaffected because our pull-based ledger charges
+  // the fetching client, while on a real machine the manager would also
+  // *serve* all those requests — the contention eq. (9) exists to avoid.
+  std::printf("eq. (9) vs direct distribution — port congestion vs p "
+              "(dual spiral 256x256)\n");
+  bench::rule();
+  std::printf("%6s | %17s %17s %8s\n", "p", "direct port words",
+              "eq.(9) port words", "ratio");
+  bench::rule();
+  const auto image =
+      img::make_test_pattern(img::TestPattern::kDualSpiral, 256);
+  for (const std::uint32_t p : {16u, 32u, 64u, 128u}) {
+    splitc::Machine machine(p);
+    cc::CcOptions options;
+    options.eq9_distribution = false;
+    (void)cc::connected_components_parallel(machine, image, options);
+    const auto direct = machine.max_port_words();
+    options.eq9_distribution = true;
+    (void)cc::connected_components_parallel(machine, image, options);
+    const auto eq9 = machine.max_port_words();
+    std::printf("%6u | %17llu %17llu %8.2f\n", p,
+                static_cast<unsigned long long>(direct),
+                static_cast<unsigned long long>(eq9),
+                static_cast<double>(direct) / static_cast<double>(eq9));
+  }
+  bench::rule();
+  std::printf("(port words = max over processors of words moved + words "
+              "served: the BDM\nconstraint that no processor sends or "
+              "receives more than one word at a time\nmakes this the "
+              "distribution bottleneck the eq. (9) scheme balances)\n\n");
+}
+
+int main() {
+  std::printf("Connected-components ablation study (modeled on the "
+              "CM-5)\n\n");
+  distribution_p_sweep();
+  run_workload("dual spiral — the 'difficult' image",
+               img::make_test_pattern(img::TestPattern::kDualSpiral, 512),
+               ccseq::ColourRule::kBinary, 32);
+  run_workload("DARPA-like scene",
+               img::make_darpa_like(512), ccseq::ColourRule::kSameColour,
+               32);
+  run_workload("percolation at threshold",
+               img::make_percolation(512, 0.5927, 77),
+               ccseq::ColourRule::kBinary, 32);
+  std::printf("shape checks: full relabeling inflates model comp (the "
+              "novelty pays);\nthe spiral forces label propagation into "
+              "many rounds (words and comm blow up)\nwhile the paper's "
+              "algorithm is flat at log p phases; shadow manager and "
+              "eq. (9)\nreduce comm modestly at this scale and matter "
+              "more as p grows.\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 11 reproduction: histogramming computation time vs communication
+// time, for 32-colour and 256-colour images, as a function of image size.
+// The paper's claim: communication is independent of n (it depends only on
+// k and p), so computation dominates for large images.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace histcc;
+  const auto profile = splitc::cm5();
+  const std::uint32_t p = 32;
+
+  for (const std::uint32_t k : {32u, 256u}) {
+    std::printf("Figure 11 — histogramming of a %u-colour image on the "
+                "CM-5 (p = %u)\n",
+                k, p);
+    bench::rule();
+    std::printf("%8s | %14s %14s | %10s\n", "n", "computation",
+                "communication", "comm words");
+    bench::rule();
+    for (const std::uint32_t n : {128u, 256u, 512u, 1024u}) {
+      const auto image = img::make_random_grey(n, k, n + k);
+      splitc::Machine machine(p);
+      (void)hist::histogram_parallel(machine, image, k);
+      const auto modeled = bench::model(machine, profile);
+      std::printf("%8u | %12.3fms %12.3fms | %10llu\n", n,
+                  modeled.comp_s * 1e3, modeled.comm_s * 1e3,
+                  static_cast<unsigned long long>(machine.max_stats().words));
+    }
+    bench::rule();
+    std::printf("\n");
+  }
+  std::printf("shape checks: the communication column is constant in n "
+              "and grows with k;\nthe computation column scales with n^2 "
+              "and dominates for large n.\n");
+  return 0;
+}

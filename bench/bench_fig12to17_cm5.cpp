@@ -1,0 +1,65 @@
+// Figures 12-14 (histogramming) and 15-17 (connected components) on the
+// CM-5 profile: modeled execution time for p = 16, 32, 64 across image
+// sizes — histogramming over grey-level counts 2..256, connected
+// components over the nine-image catalog at 512^2 and 1024^2.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace histcc;
+  const auto profile = splitc::cm5();
+
+  // ---- Figures 12-14: histogramming ----
+  for (const std::uint32_t p : {16u, 32u, 64u}) {
+    std::printf("Figure %u — CM-5 histogramming (p = %u), modeled time\n",
+                12 + (p == 32 ? 1u : p == 64 ? 2u : 0u), p);
+    bench::rule();
+    std::printf("%8s", "n");
+    for (const std::uint32_t k : {2u, 8u, 32u, 128u, 256u}) {
+      std::printf("   k=%-4u", k);
+    }
+    std::printf("\n");
+    bench::rule();
+    for (const std::uint32_t n : {128u, 256u, 512u, 1024u}) {
+      std::printf("%8u", n);
+      for (const std::uint32_t k : {2u, 8u, 32u, 128u, 256u}) {
+        const auto image = img::make_random_grey(n, k, n * k);
+        splitc::Machine machine(p);
+        (void)hist::histogram_parallel(machine, image, k);
+        std::printf(" %6.1fms", bench::model(machine, profile).total_s * 1e3);
+      }
+      std::printf("\n");
+    }
+    bench::rule();
+    std::printf("\n");
+  }
+
+  // ---- Figures 15-17: connected components over the catalog ----
+  for (const std::uint32_t p : {16u, 32u, 64u}) {
+    std::printf("Figure %u — CM-5 connected components (p = %u), modeled "
+                "time per catalog image\n",
+                15 + (p == 32 ? 1u : p == 64 ? 2u : 0u), p);
+    bench::rule();
+    std::printf("%-20s %12s %12s\n", "image", "512x512", "1024x1024");
+    bench::rule();
+    for (int id = 1; id <= img::kNumTestPatterns; ++id) {
+      const auto pattern = static_cast<img::TestPattern>(id);
+      std::printf("%-20s", std::string(img::pattern_name(pattern)).c_str());
+      for (const std::uint32_t n : {512u, 1024u}) {
+        const auto image = img::make_test_pattern(pattern, n);
+        splitc::Machine machine(p);
+        (void)cc::connected_components_parallel(machine, image);
+        std::printf(" %10.1fms", bench::model(machine, profile).total_s * 1e3);
+      }
+      std::printf("\n");
+    }
+    bench::rule();
+    std::printf("\n");
+  }
+  std::printf("shape checks: histogramming times are nearly independent "
+              "of k for large n;\nCC times are dominated by the n^2/p "
+              "local phases, so per-image variation is\nmodest and the "
+              "dual spiral is no worse than the rest (the paper's point: "
+              "the\nmerge never relabels interiors, so 'difficult' images "
+              "cost the same).\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+#include <cmath>
+// Validation of the paper's complexity equations against the runtime's
+// measured communication ledgers:
+//   eq. (1)  transpose      Tcomm = tau + (q - q/p)
+//   eq. (2)  broadcast      Tcomm = 2(tau + q - q/p)
+//   eq. (3)  histogramming  Tcomm <= 2(tau + k)
+//   eq. (11) conn. comp.    Tcomm <= (4 log p) tau + O(n^2/p) with the
+//            word term in practice ~ 24n + 2p
+// Every row prints measured words/batches next to the equation's
+// prediction; PASS means measured <= predicted (the equations are upper
+// bounds).
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace histcc;
+
+int failures = 0;
+
+void check(const char* what, double measured, double bound) {
+  const bool ok = measured <= bound + 1e-9;
+  if (!ok) ++failures;
+  std::printf("  %-34s measured %12.1f  bound %12.1f  %s\n", what, measured,
+              bound, ok ? "PASS" : "FAIL");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Model validation — measured BDM ledgers vs the paper's "
+              "equations\n");
+  bench::rule();
+
+  // eq. (1) and (2): per-processor words and batches of the primitives.
+  for (const std::uint32_t p : {4u, 8u, 32u}) {
+    const std::size_t q = 1024;
+    splitc::Machine machine(p);
+    splitc::Spread<std::uint32_t> a(machine, q), b(machine, q),
+        scratch(machine, q);
+    machine.run([&](splitc::Proc& self) { bdm::transpose(self, b, a, q); });
+    std::printf("transpose p=%u q=%zu:\n", p, q);
+    check("words (q - q/p)",
+          static_cast<double>(machine.max_stats().words),
+          static_cast<double>(q - q / p));
+    check("latency batches (1)",
+          static_cast<double>(machine.max_stats().batches), 1.0);
+
+    machine.run(
+        [&](splitc::Proc& self) { bdm::broadcast(self, b, a, scratch, q); });
+    std::printf("broadcast p=%u q=%zu:\n", p, q);
+    check("words 2(q - q/p)",
+          static_cast<double>(machine.max_stats().words),
+          2.0 * static_cast<double>(q - q / p));
+    check("latency batches (2)",
+          static_cast<double>(machine.max_stats().batches), 2.0);
+  }
+
+  // eq. (3): histogramming communication, independent of n, <= 2k words.
+  for (const std::uint32_t k : {16u, 256u}) {
+    for (const std::uint32_t n : {128u, 512u}) {
+      splitc::Machine machine(16);
+      (void)hist::histogram_parallel(machine,
+                                     img::make_random_grey(n, k, n), k);
+      std::printf("histogram p=16 n=%u k=%u:\n", n, k);
+      check("words (<= 2k)",
+            static_cast<double>(machine.max_stats().words), 2.0 * k);
+    }
+  }
+
+  // eq. (11): connected components — total words <= c1*n + c2*p with the
+  // paper's practical constants (24n + 2p), and latency episodes bounded
+  // by a small multiple of log p.
+  for (const std::uint32_t p : {16u, 64u}) {
+    for (const std::uint32_t n : {256u, 512u}) {
+      splitc::Machine machine(p);
+      const auto image = img::make_darpa_like(n);
+      cc::CcOptions options;
+      options.rule = ccseq::ColourRule::kSameColour;
+      (void)cc::connected_components_parallel(machine, image, options);
+      const auto stats = machine.max_stats();
+      std::printf("connected components p=%u n=%u:\n", p, n);
+      check("words (24n + 2p)", static_cast<double>(stats.words),
+            24.0 * n + 2.0 * p);
+      const double log_p = std::log2(static_cast<double>(p));
+      check("latency episodes (8 log p)",
+            static_cast<double>(stats.batches + stats.barriers),
+            8.0 * log_p);
+    }
+  }
+
+  bench::rule();
+  std::printf("%s (%d failures)\n", failures == 0 ? "ALL PASS" : "FAILURES",
+              failures);
+  return failures == 0 ? 0 : 1;
+}

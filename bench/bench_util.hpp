@@ -1,0 +1,73 @@
+#ifndef HISTCC_BENCH_UTIL_HPP
+#define HISTCC_BENCH_UTIL_HPP
+
+/// \file bench_util.hpp
+/// Shared helpers for the paper-reproduction benchmark binaries.
+///
+/// Every table/figure bench reports two kinds of numbers:
+///   * wall  — wall-clock seconds measured on this host (p virtual
+///             processors on however many cores are available); meaningful
+///             for relative comparisons at fixed p only;
+///   * model — the BDM-modeled execution time obtained by replaying the
+///             communication/computation ledger of the run against a
+///             MachineProfile of one of the paper's machines.  This is the
+///             number whose *shape* should match the paper's figures.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "histcc/histcc.hpp"
+
+namespace histcc::bench {
+
+/// Modeled total / comm / comp seconds for the max-over-processors ledger
+/// of the last run on `machine`.
+struct Modeled {
+  double total_s;
+  double comm_s;
+  double comp_s;
+};
+
+inline Modeled model(const splitc::Machine& machine,
+                     const splitc::MachineProfile& profile) {
+  const auto stats = machine.max_stats();
+  const double comm = stats.modeled_comm_seconds(profile);
+  const double comp = stats.modeled_comp_seconds(profile);
+  return Modeled{comm + comp, comm, comp};
+}
+
+/// work/pixel = time * p / n^2 — the normalization Tables 1 and 2 use.
+inline double work_per_pixel_ns(double seconds, std::uint32_t p,
+                                std::uint32_t n) {
+  return seconds * 1e9 * static_cast<double>(p) /
+         (static_cast<double>(n) * static_cast<double>(n));
+}
+
+/// The nine catalog images at side n.
+inline std::vector<img::GreyImage> catalog_images(std::uint32_t n) {
+  std::vector<img::GreyImage> images;
+  images.reserve(static_cast<std::size_t>(img::kNumTestPatterns));
+  for (int id = 1; id <= img::kNumTestPatterns; ++id) {
+    images.push_back(
+        img::make_test_pattern(static_cast<img::TestPattern>(id), n));
+  }
+  return images;
+}
+
+/// Pretty time: ms with 3 significant decimals.
+inline std::string ms(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", seconds * 1e3);
+  return buf;
+}
+
+inline void rule(char c = '-', int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+}  // namespace histcc::bench
+
+#endif  // HISTCC_BENCH_UTIL_HPP

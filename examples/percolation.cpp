@@ -1,0 +1,76 @@
+// Site-percolation study — one of the computational-physics applications
+// the paper cites for connected components ([41] Stauffer, [5] Brower et
+// al.).  Sweeps the site occupancy probability, labels each lattice with
+// the parallel algorithm, and reports spanning-cluster statistics around
+// the 2-D site-percolation threshold.
+//
+//   ./percolation [n] [p] [trials]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "histcc/histcc.hpp"
+
+namespace {
+
+using namespace histcc;
+
+/// Does any cluster touch both the top and bottom rows?
+bool spans_vertically(const img::LabelImage& labels) {
+  std::unordered_set<std::uint32_t> top;
+  const std::uint32_t n = labels.height();
+  for (std::uint32_t j = 0; j < labels.width(); ++j) {
+    if (labels(0, j) != 0) top.insert(labels(0, j));
+  }
+  for (std::uint32_t j = 0; j < labels.width(); ++j) {
+    const auto l = labels(n - 1, j);
+    if (l != 0 && top.contains(l)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint32_t n = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 256;
+  const std::uint32_t p = argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 16;
+  const std::uint32_t trials = static_cast<std::uint32_t>(
+      std::max(1, argc > 3 ? std::atoi(argv[3]) : 8));
+
+  splitc::Machine machine(p);
+  cc::CcOptions options;
+  options.connectivity = ccseq::Connectivity::kFour;  // classic site model
+
+  std::printf("site percolation on a %ux%u lattice, 4-connectivity, p=%u, "
+              "%u trials per point\n",
+              n, n, p, trials);
+  std::printf("%-6s %-10s %-14s %-14s\n", "occ", "P(span)", "max-cluster",
+              "n-clusters");
+
+  // The 2-D site percolation threshold is ~0.5927; the spanning
+  // probability should jump across it.
+  for (const double occ : {0.50, 0.55, 0.58, 0.59, 0.60, 0.62, 0.65, 0.70}) {
+    std::uint32_t spans = 0;
+    double mean_max = 0.0;
+    double mean_clusters = 0.0;
+    for (std::uint32_t trial = 0; trial < trials; ++trial) {
+      const auto lattice =
+          img::make_percolation(n, occ, 1000 * trial + 17);
+      const auto labels =
+          cc::connected_components_parallel(machine, lattice, options);
+      if (spans_vertically(labels)) ++spans;
+      const auto sizes = ccseq::component_sizes(labels);
+      mean_clusters += static_cast<double>(sizes.size());
+      if (!sizes.empty()) {
+        mean_max += static_cast<double>(sizes[0].pixels) /
+                    (static_cast<double>(n) * n);
+      }
+    }
+    std::printf("%-6.2f %-10.2f %-14.4f %-14.0f\n", occ,
+                static_cast<double>(spans) / trials, mean_max / trials,
+                mean_clusters / trials);
+  }
+  std::printf("expected: P(span) rises sharply near occ = 0.5927\n");
+  return 0;
+}

@@ -1,0 +1,135 @@
+#ifndef HISTCC_BDM_COLLECTIVES_HPP
+#define HISTCC_BDM_COLLECTIVES_HPP
+
+/// \file collectives.hpp
+/// Reduction-style collectives in the BDM model.
+///
+/// The paper's two algorithms only need transpose / broadcast / gather
+/// (primitives.hpp), but the BDM framework it builds on (JaJa & Ryu [21],
+/// [22]) defines the full family; these are the members the library's
+/// applications and extensions use:
+///
+/// * `reduce_to_root` — elementwise combine of every processor's block on
+///   one processor, by circular prefetch; Tcomm = tau + (p-1)·count.
+/// * `allreduce`      — transpose-style: processor i combines slice i of
+///   every block, then everyone collects the combined slices;
+///   Tcomm = 2(tau + count - count/p), the same volume as Algorithm 2.
+/// * `exscan`         — exclusive prefix over one scalar per processor
+///   (processor i receives op over ranks < i); Tcomm = tau + p - 1.
+/// * `all_to_all`     — personalized exchange: slice j of processor i's
+///   block lands at slice i of processor j's block.  This *is* the matrix
+///   transpose of Algorithm 1 viewed per-processor; provided under its
+///   conventional name.
+///
+/// All are collective over the whole machine and pull-based, with the
+/// same barrier discipline as primitives.hpp (a leading barrier publishes
+/// the source).
+
+#include <cstddef>
+
+#include "histcc/bdm/primitives.hpp"
+
+namespace histcc::bdm {
+
+/// Elementwise `op`-combine of each processor's `count`-element block of
+/// `src` into the root's block of `dst`.  Collective.
+template <typename T, typename Op>
+void reduce_to_root(splitc::Proc& self, splitc::Spread<T>& dst,
+                    splitc::Spread<T>& src, std::size_t count, Op op,
+                    std::uint32_t root = 0) {
+  const std::uint32_t p = self.nprocs();
+  HISTCC_REQUIRE(root < p, "root out of range");
+  HISTCC_REQUIRE(src.per_proc() >= count && dst.per_proc() >= count,
+                 "spread blocks too small");
+  self.barrier();  // publish src
+  if (self.rank() == root) {
+    auto acc = dst.local(self);
+    src.prefetch(self, acc.subspan(0, count), root, 0, count);
+    std::vector<T> chunk(count);
+    for (std::uint32_t loop = 1; loop < p; ++loop) {
+      const std::uint32_t r = (root + loop) % p;
+      src.prefetch(self, chunk, r, 0, count);
+      for (std::size_t e = 0; e < count; ++e) {
+        acc[e] = op(acc[e], chunk[e]);
+      }
+    }
+    self.charge_ops(static_cast<std::uint64_t>(p - 1) * count);
+  }
+  self.sync();
+}
+
+/// Elementwise `op`-combine of all blocks, result replicated everywhere.
+/// Requires p | count.  Collective.
+template <typename T, typename Op>
+void allreduce(splitc::Proc& self, splitc::Spread<T>& dst,
+               splitc::Spread<T>& src, splitc::Spread<T>& scratch,
+               std::size_t count, Op op) {
+  const std::uint32_t p = self.nprocs();
+  HISTCC_REQUIRE(count % p == 0, "allreduce requires p | count");
+  HISTCC_REQUIRE(src.per_proc() >= count && dst.per_proc() >= count &&
+                     scratch.per_proc() >= count / p,
+                 "spread blocks too small");
+  const std::size_t blk = count / p;
+  const std::uint32_t i = self.rank();
+
+  // Phase 1 (transpose-shaped): I combine slice i of every processor's
+  // block into my block of `scratch`.
+  self.barrier();  // publish src
+  {
+    auto acc = scratch.local(self);
+    src.prefetch(self, acc.subspan(0, blk), i,
+                 static_cast<std::size_t>(i) * blk, blk);
+    std::vector<T> chunk(blk);
+    for (std::uint32_t loop = 1; loop < p; ++loop) {
+      const std::uint32_t r = (i + loop) % p;
+      src.prefetch(self, chunk, r, static_cast<std::size_t>(i) * blk, blk);
+      for (std::size_t e = 0; e < blk; ++e) {
+        acc[e] = op(acc[e], chunk[e]);
+      }
+    }
+    self.sync();
+    self.charge_ops(static_cast<std::uint64_t>(p - 1) * blk);
+  }
+  // Phase 2: everyone collects every combined slice (the specialised
+  // second transpose of Algorithm 2).
+  self.barrier();  // publish scratch
+  {
+    auto mine = dst.local(self);
+    for (std::uint32_t loop = 0; loop < p; ++loop) {
+      const std::uint32_t r = (i + loop) % p;
+      scratch.prefetch(self, mine.subspan(static_cast<std::size_t>(r) * blk, blk),
+                       r, 0, blk);
+    }
+    self.sync();
+  }
+}
+
+/// Exclusive prefix of one scalar per processor: returns op over the
+/// values of all ranks < mine (T{} identity for rank 0).  `slots` must be
+/// a Spread with at least one element per processor.  Collective.
+template <typename T, typename Op>
+T exscan(splitc::Proc& self, splitc::Spread<T>& slots, T my_value, Op op) {
+  HISTCC_REQUIRE(slots.per_proc() >= 1, "spread blocks too small");
+  slots.local(self)[0] = my_value;
+  self.barrier();  // publish values
+  T acc{};
+  for (std::uint32_t r = 0; r < self.rank(); ++r) {
+    acc = op(acc, slots.get(self, r, 0));
+  }
+  self.sync();
+  self.charge_ops(self.rank());
+  return acc;
+}
+
+/// Personalized all-to-all exchange: slice j of processor i's block of
+/// `src` becomes slice i of processor j's block of `dst`, slices being
+/// `slice` elements.  Exactly Algorithm 1 with q = p * slice.  Collective.
+template <typename T>
+void all_to_all(splitc::Proc& self, splitc::Spread<T>& dst,
+                splitc::Spread<T>& src, std::size_t slice) {
+  transpose(self, dst, src, static_cast<std::size_t>(self.nprocs()) * slice);
+}
+
+}  // namespace histcc::bdm
+
+#endif  // HISTCC_BDM_COLLECTIVES_HPP

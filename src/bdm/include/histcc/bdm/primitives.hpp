@@ -1,0 +1,217 @@
+#ifndef HISTCC_BDM_PRIMITIVES_HPP
+#define HISTCC_BDM_PRIMITIVES_HPP
+
+/// \file primitives.hpp
+/// The BDM data-movement primitives of Section 2 of the paper.
+///
+/// * `transpose`            — Algorithm 1: q x p matrix transposition in p
+///                            circular prefetch rounds;
+///                            Tcomm = tau + (q - q/p).
+/// * `truncated_transpose`  — the k < p variant used by histogramming: only
+///                            the first k processors receive a row each.
+/// * `broadcast`            — Algorithm 2: q elements from processor 0 to
+///                            everyone via two transpositions;
+///                            Tcomm = 2(tau + q - q/p).
+/// * `gather_to_root`       — the circular collection processor P0 performs
+///                            to assemble the final histogram.
+/// * `scatter_group` /      — the transpose-based distribution of eq. (9)
+///   `allgather_group`        used to hand a manager's change list to its
+///                            f(i)-1 clients in Tcomm = 2 tau + c - c/f.
+///
+/// Barrier discipline: `transpose`, `truncated_transpose`, `broadcast`, and
+/// `gather_to_root` begin with a global barrier (every processor of the
+/// machine must call them) so the source data published by peers is stable.
+/// The group primitives are *pull-only* and contain no barriers: they are
+/// building blocks for the merge phase, which interleaves groups and places
+/// the global barriers itself.  All prefetches inside one primitive form a
+/// single pipelined batch (one tau) per the BDM model.
+
+#include <cstddef>
+#include <span>
+
+#include "histcc/splitc/machine.hpp"
+#include "histcc/splitc/spread.hpp"
+#include "histcc/util/math.hpp"
+#include "histcc/util/require.hpp"
+
+namespace histcc::bdm {
+
+/// Algorithm 1.  `src` holds a q x p matrix, column i (q elements) on
+/// processor i.  After the call, processor i's block of `dst` holds, for
+/// each source processor r, the sub-block src[r][i*q/p .. (i+1)*q/p - 1] at
+/// offset r*q/p — i.e. rows [i*q/p, (i+1)*q/p) of the original matrix,
+/// grouped by source column.  Requires p | q.  Collective.
+template <typename T>
+void transpose(splitc::Proc& self, splitc::Spread<T>& dst,
+               splitc::Spread<T>& src, std::size_t q) {
+  const std::uint32_t p = self.nprocs();
+  HISTCC_REQUIRE(q % p == 0, "transpose requires p | q");
+  HISTCC_REQUIRE(src.per_proc() >= q && dst.per_proc() >= q,
+                 "spread blocks too small for q");
+  const std::size_t blk = q / p;
+  const std::uint32_t i = self.rank();
+
+  self.barrier();  // publish src
+  auto mine = dst.local(self);
+  for (std::uint32_t loop = 0; loop < p; ++loop) {
+    const std::uint32_t r = (i + loop) % p;  // circular schedule
+    src.prefetch(self, mine.subspan(static_cast<std::size_t>(r) * blk, blk),
+                 r, static_cast<std::size_t>(i) * blk, blk);
+  }
+  self.sync();
+}
+
+/// Truncated transpose for k < p rows (Section 4): processor i < k receives
+/// element i of every column, so the k x p matrix ends with one full row on
+/// each of the first k processors.  `dst` needs p elements per processor.
+/// Collective.
+template <typename T>
+void truncated_transpose(splitc::Proc& self, splitc::Spread<T>& dst,
+                         splitc::Spread<T>& src, std::size_t k) {
+  const std::uint32_t p = self.nprocs();
+  HISTCC_REQUIRE(k <= p, "truncated transpose requires k <= p");
+  HISTCC_REQUIRE(src.per_proc() >= k, "source blocks too small for k");
+  HISTCC_REQUIRE(dst.per_proc() >= p, "destination blocks too small for p");
+  const std::uint32_t i = self.rank();
+
+  self.barrier();  // publish src
+  if (i < k) {
+    auto mine = dst.local(self);
+    for (std::uint32_t loop = 0; loop < p; ++loop) {
+      const std::uint32_t r = (i + loop) % p;
+      src.prefetch(self, mine.subspan(r, 1), r, i, 1);
+    }
+  }
+  self.sync();
+}
+
+/// Algorithm 2.  Broadcast q elements held in processor 0's block of `src`
+/// to every processor's block of `dst`, using two matrix transpositions
+/// through `scratch`.  Step 1-2 is a *full* Algorithm 1 transpose (as in
+/// the paper — only the block fetched from processor 0 carries valid
+/// data); Step 3-4 is the transpose specialised to the first slot of every
+/// column, since "at the end of Step 2, only the first q/p elements in
+/// each column are valid".  Tcomm = 2(tau + q - q/p), i.e. twice a
+/// transpose — which Figures 6-9 confirm experimentally.  Requires p | q
+/// and q >= p.  Collective.
+template <typename T>
+void broadcast(splitc::Proc& self, splitc::Spread<T>& dst,
+               splitc::Spread<T>& src, splitc::Spread<T>& scratch,
+               std::size_t q) {
+  const std::uint32_t p = self.nprocs();
+  HISTCC_REQUIRE(q % p == 0 && q >= p, "broadcast requires p | q and q >= p");
+  HISTCC_REQUIRE(src.per_proc() >= q && dst.per_proc() >= q &&
+                     scratch.per_proc() >= q,
+                 "spread blocks too small for q");
+  const std::size_t blk = q / p;
+  const std::uint32_t i = self.rank();
+
+  // Step 1-2: full matrix transposition (includes the barrier publishing
+  // src).  scratch[i][0 .. blk) now holds src[0][i*blk .. (i+1)*blk).
+  transpose(self, scratch, src, q);
+
+  // Step 3-4: second transposition, specialised to the first slot of every
+  // column: processor i prefetches scratch[r][0 .. blk) into
+  // dst[i][r*blk ...).
+  self.barrier();  // publish scratch
+  {
+    auto mine = dst.local(self);
+    for (std::uint32_t loop = 0; loop < p; ++loop) {
+      const std::uint32_t r = (i + loop) % p;
+      scratch.prefetch(self, mine.subspan(static_cast<std::size_t>(r) * blk, blk),
+                       r, 0, blk);
+    }
+    self.sync();
+  }
+}
+
+/// Circular collection: the root prefetches `per_block` elements from the
+/// first `nblocks` processors' blocks of `src` (at offset src_off, all p
+/// processors when nblocks == 0) and concatenates them into its own block
+/// of `dst` in rank order.  Used by histogramming to assemble H[0..k-1] on
+/// P0 — nblocks = k when k < p.  Collective.
+template <typename T>
+void gather_to_root(splitc::Proc& self, splitc::Spread<T>& dst,
+                    splitc::Spread<T>& src, std::size_t per_block,
+                    std::size_t src_off = 0, std::uint32_t root = 0,
+                    std::uint32_t nblocks = 0) {
+  const std::uint32_t p = self.nprocs();
+  if (nblocks == 0) nblocks = p;
+  HISTCC_REQUIRE(root < p, "root out of range");
+  HISTCC_REQUIRE(nblocks <= p, "more blocks than processors");
+  HISTCC_REQUIRE(src.per_proc() >= src_off + per_block,
+                 "source blocks too small");
+  HISTCC_REQUIRE(dst.per_proc() >= per_block * nblocks,
+                 "destination block too small on root");
+
+  self.barrier();  // publish src
+  if (self.rank() == root) {
+    auto mine = dst.local(self);
+    for (std::uint32_t loop = 0; loop < nblocks; ++loop) {
+      const std::uint32_t r = (root + loop) % nblocks;
+      src.prefetch(self, mine.subspan(static_cast<std::size_t>(r) * per_block,
+                                      per_block),
+                   r, src_off, per_block);
+    }
+  }
+  self.sync();
+}
+
+/// Phase 1 of the eq. (9) distribution: each of the f group members pulls
+/// its 1/f slice of the root's c-element list into the front of its own
+/// block of `stage`.  `members` lists the group's ranks; `my_index` is the
+/// caller's position in it; `root_index` the root's.  The caller must have
+/// crossed a barrier after the root published `data`.  Pull-only.
+/// Returns the size of the slice this member now stages.
+template <typename T>
+std::size_t scatter_group(splitc::Proc& self,
+                          std::span<const std::uint32_t> members,
+                          std::size_t my_index, std::size_t root_index,
+                          splitc::SpreadVec<T>& data,
+                          splitc::SpreadVec<T>& stage) {
+  const std::size_t f = members.size();
+  HISTCC_REQUIRE(f >= 1 && my_index < f && root_index < f,
+                 "bad group description");
+  const std::uint32_t root = members[root_index];
+  const std::size_t c = data.size_of(self, root);
+  const std::size_t base = c / f;
+  const std::size_t extra = c % f;
+  // Slice s gets base (+1 for the first `extra` slices) elements.
+  const std::size_t my_len = base + (my_index < extra ? 1 : 0);
+  const std::size_t my_off =
+      my_index * base + std::min<std::size_t>(my_index, extra);
+
+  auto& mine = stage.local(self);
+  mine.resize(my_len);
+  data.prefetch(self, std::span<T>(mine), root, my_off, my_len);
+  self.sync();
+  return my_len;
+}
+
+/// Phase 2 of the eq. (9) distribution: every member pulls every member's
+/// staged slice (circular order) and reassembles the full c-element list in
+/// `out`.  The caller must have crossed a barrier after scatter_group.
+/// Pull-only.
+template <typename T>
+void allgather_group(splitc::Proc& self,
+                     std::span<const std::uint32_t> members,
+                     std::size_t my_index, std::size_t total,
+                     splitc::SpreadVec<T>& stage, std::vector<T>& out) {
+  const std::size_t f = members.size();
+  HISTCC_REQUIRE(f >= 1 && my_index < f, "bad group description");
+  const std::size_t base = total / f;
+  const std::size_t extra = total % f;
+  out.resize(total);
+  for (std::size_t loop = 0; loop < f; ++loop) {
+    const std::size_t s = (my_index + loop) % f;
+    const std::size_t len = base + (s < extra ? 1 : 0);
+    const std::size_t off = s * base + std::min<std::size_t>(s, extra);
+    stage.prefetch(self, std::span<T>(out).subspan(off, len), members[s], 0,
+                   len);
+  }
+  self.sync();
+}
+
+}  // namespace histcc::bdm
+
+#endif  // HISTCC_BDM_PRIMITIVES_HPP

@@ -1,0 +1,18 @@
+// primitives.hpp is header-only (templates); this translation unit
+// instantiates the common cases once so errors surface in the library
+// build rather than in every consumer.
+#include "histcc/bdm/primitives.hpp"
+
+namespace histcc::bdm {
+
+template void transpose<std::uint32_t>(splitc::Proc&,
+                                       splitc::Spread<std::uint32_t>&,
+                                       splitc::Spread<std::uint32_t>&,
+                                       std::size_t);
+template void broadcast<std::uint32_t>(splitc::Proc&,
+                                       splitc::Spread<std::uint32_t>&,
+                                       splitc::Spread<std::uint32_t>&,
+                                       splitc::Spread<std::uint32_t>&,
+                                       std::size_t);
+
+}  // namespace histcc::bdm

@@ -1,0 +1,30 @@
+#ifndef HISTCC_CC_REPLICATED_HPP
+#define HISTCC_CC_REPLICATED_HPP
+
+/// \file replicated.hpp
+/// Baseline: the "complete image per PE" divide-and-conquer variant that
+/// Table 2 quotes from Choudhary & Thakur.  The whole image is broadcast
+/// to every processor (Algorithm 2 over n^2 pixels), each processor
+/// labels the complete image sequentially, and processor 0's labeling is
+/// the answer.  No merge phase is needed — and no speedup is possible:
+/// Tcomp = O(n^2) regardless of p, and Tcomm = 2(tau + n^2 - n^2/p).
+/// Included so the benchmark harness can show where the paper's
+/// partitioned-input algorithm overtakes it (it always does for p >= 2
+/// once the broadcast is amortized — exactly the paper's argument).
+
+#include "histcc/cc_seq/common.hpp"
+#include "histcc/image/image.hpp"
+#include "histcc/splitc/machine.hpp"
+
+namespace histcc::cc {
+
+/// Label `image` with the replicated baseline.  Produces the canonical
+/// labeling, like every labeler in this library.  Collective.
+[[nodiscard]] img::LabelImage connected_components_replicated(
+    splitc::Machine& machine, const img::GreyImage& image,
+    ccseq::Connectivity conn = ccseq::Connectivity::kEight,
+    ccseq::ColourRule rule = ccseq::ColourRule::kBinary);
+
+}  // namespace histcc::cc
+
+#endif  // HISTCC_CC_REPLICATED_HPP

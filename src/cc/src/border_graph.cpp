@@ -1,0 +1,186 @@
+#include "histcc/cc/border_graph.hpp"
+
+#include <algorithm>
+
+#include "histcc/sortutil/radix.hpp"
+#include "histcc/util/require.hpp"
+
+namespace histcc::cc {
+namespace {
+
+/// Record used to sort coloured border pixels by label.
+struct LabelPos {
+  std::uint32_t label;
+  std::uint32_t pos;
+};
+
+/// Vertex numbering: coloured pixel at position i on the lo side is vertex
+/// i; on the hi side it is vertex s + i, where s is the side length.
+/// Background positions simply have no edges and are never seeded.
+class BorderGraph {
+ public:
+  BorderGraph(std::size_t side_len) : side_len_(side_len) {
+    adjacency_.resize(2 * side_len);
+  }
+
+  void add_edge(std::uint32_t a, std::uint32_t b) {
+    adjacency_[a].push_back(b);
+    adjacency_[b].push_back(a);
+  }
+
+  [[nodiscard]] std::span<const std::uint32_t> neighbours(
+      std::uint32_t vertex) const noexcept {
+    return adjacency_[vertex];
+  }
+
+  [[nodiscard]] std::size_t vertex_count() const noexcept {
+    return 2 * side_len_;
+  }
+
+ private:
+  std::size_t side_len_;
+  // At most 5 edges per vertex (2 same-label chain + 3 across-border), so
+  // the small vectors stay tiny.
+  std::vector<std::vector<std::uint32_t>> adjacency_;
+};
+
+/// Chain consecutive same-label entries of a label-sorted side (edge type 1).
+void add_chain_edges(BorderGraph& graph, const BorderSide& side,
+                     std::span<const std::uint32_t> sorted,
+                     std::uint32_t vertex_base) {
+  for (std::size_t s = 1; s < sorted.size(); ++s) {
+    const std::uint32_t prev = sorted[s - 1];
+    const std::uint32_t cur = sorted[s];
+    if (side.labels[prev] == side.labels[cur]) {
+      graph.add_edge(vertex_base + prev, vertex_base + cur);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> sort_side_by_label(const BorderSide& side) {
+  HISTCC_REQUIRE(side.pixels.size() == side.labels.size(),
+                 "border side pixel/label length mismatch");
+  std::vector<LabelPos> records;
+  records.reserve(side.pixels.size());
+  for (std::uint32_t i = 0; i < side.pixels.size(); ++i) {
+    if (side.pixels[i] != 0) {
+      records.push_back(LabelPos{side.labels[i], i});
+    }
+  }
+  sortutil::hybrid_sort_by(records,
+                           [](const LabelPos& r) { return r.label; });
+  std::vector<std::uint32_t> sorted;
+  sorted.reserve(records.size());
+  for (const auto& r : records) sorted.push_back(r.pos);
+  return sorted;
+}
+
+std::vector<ChangePair> merge_border(const BorderSide& lo,
+                                     std::span<const std::uint32_t> lo_sorted,
+                                     const BorderSide& hi,
+                                     std::span<const std::uint32_t> hi_sorted,
+                                     ccseq::Connectivity conn,
+                                     ccseq::ColourRule rule) {
+  HISTCC_REQUIRE(lo.pixels.size() == hi.pixels.size(),
+                 "border sides must have equal length");
+  HISTCC_REQUIRE(lo.pixels.size() == lo.labels.size() &&
+                     hi.pixels.size() == hi.labels.size(),
+                 "border side pixel/label length mismatch");
+  const std::size_t s = lo.pixels.size();
+  const auto side_len = static_cast<std::uint32_t>(s);
+  BorderGraph graph(s);
+
+  // Edge type 1: same-label chains within each side.
+  add_chain_edges(graph, lo, lo_sorted, 0);
+  add_chain_edges(graph, hi, hi_sorted, side_len);
+
+  // Edge type 2: like-coloured pixels adjacent across the border.
+  const bool eight = conn == ccseq::Connectivity::kEight;
+  const bool same_colour = rule == ccseq::ColourRule::kSameColour;
+  for (std::uint32_t i = 0; i < s; ++i) {
+    if (lo.pixels[i] == 0) continue;
+    auto link = [&](std::uint32_t j) {
+      if (hi.pixels[j] == 0) return;
+      if (same_colour && hi.pixels[j] != lo.pixels[i]) return;
+      graph.add_edge(i, side_len + j);
+    };
+    if (eight && i > 0) link(i - 1);
+    link(i);
+    if (eight && i + 1 < s) link(i + 1);
+  }
+
+  // Sequential BFS connected components over the graph; each component
+  // keeps its minimum label.
+  auto label_of = [&](std::uint32_t vertex) {
+    return vertex < side_len ? lo.labels[vertex]
+                             : hi.labels[vertex - side_len];
+  };
+  auto colour_of = [&](std::uint32_t vertex) {
+    return vertex < side_len ? lo.pixels[vertex]
+                             : hi.pixels[vertex - side_len];
+  };
+
+  std::vector<std::uint8_t> visited(graph.vertex_count(), 0);
+  std::vector<std::uint32_t> queue;
+  std::vector<ChangePair> raw_changes;
+
+  for (std::uint32_t seed = 0; seed < graph.vertex_count(); ++seed) {
+    if (visited[seed] || colour_of(seed) == 0) continue;
+    queue.clear();
+    queue.push_back(seed);
+    visited[seed] = 1;
+    std::uint32_t rep = label_of(seed);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      for (const auto next : graph.neighbours(queue[head])) {
+        if (visited[next]) continue;
+        visited[next] = 1;
+        rep = std::min(rep, label_of(next));
+        queue.push_back(next);
+      }
+    }
+    for (const auto vertex : queue) {
+      const std::uint32_t old_label = label_of(vertex);
+      if (old_label != rep) {
+        raw_changes.push_back(ChangePair{old_label, rep});
+      }
+    }
+  }
+
+  // Procedure 1: radix sort the pairs by alpha, scan out unique pairs.
+  sortutil::hybrid_sort_by(raw_changes,
+                           [](const ChangePair& c) { return c.alpha; });
+  std::vector<ChangePair> changes;
+  changes.reserve(raw_changes.size());
+  for (const auto& c : raw_changes) {
+    if (changes.empty() || changes.back().alpha != c.alpha) {
+      changes.push_back(c);
+    } else {
+      // All occurrences of one alpha live in one graph component, so they
+      // must agree on beta.
+      HISTCC_ASSERT(changes.back().beta == c.beta);
+    }
+  }
+  return changes;
+}
+
+std::vector<ChangePair> merge_border(const BorderSide& lo,
+                                     const BorderSide& hi,
+                                     ccseq::Connectivity conn,
+                                     ccseq::ColourRule rule) {
+  const auto lo_sorted = sort_side_by_label(lo);
+  const auto hi_sorted = sort_side_by_label(hi);
+  return merge_border(lo, lo_sorted, hi, hi_sorted, conn, rule);
+}
+
+std::uint32_t apply_changes(std::span<const ChangePair> changes,
+                            std::uint32_t label) noexcept {
+  auto it = std::lower_bound(
+      changes.begin(), changes.end(), label,
+      [](const ChangePair& c, std::uint32_t value) { return c.alpha < value; });
+  if (it != changes.end() && it->alpha == label) return it->beta;
+  return label;
+}
+
+}  // namespace histcc::cc

@@ -1,0 +1,131 @@
+#include "histcc/cc/hooks.hpp"
+
+#include "histcc/sortutil/radix.hpp"
+#include "histcc/util/require.hpp"
+
+namespace histcc::cc {
+
+std::vector<std::uint32_t> tile_border_offsets(std::uint32_t rows,
+                                               std::uint32_t cols) {
+  HISTCC_REQUIRE(rows > 0 && cols > 0, "degenerate tile");
+  std::vector<std::uint32_t> offsets;
+  if (rows == 1) {
+    offsets.reserve(cols);
+    for (std::uint32_t j = 0; j < cols; ++j) offsets.push_back(j);
+    return offsets;
+  }
+  if (cols == 1) {
+    offsets.reserve(rows);
+    for (std::uint32_t i = 0; i < rows; ++i) offsets.push_back(i);
+    return offsets;
+  }
+  offsets.reserve(2 * (static_cast<std::size_t>(rows) + cols) - 4);
+  for (std::uint32_t j = 0; j < cols; ++j) offsets.push_back(j);  // top row
+  for (std::uint32_t i = 1; i + 1 < rows; ++i) {
+    offsets.push_back(i * cols);              // west column
+    offsets.push_back(i * cols + cols - 1);   // east column
+  }
+  for (std::uint32_t j = 0; j < cols; ++j) {
+    offsets.push_back((rows - 1) * cols + j);  // bottom row
+  }
+  return offsets;
+}
+
+std::vector<TileHook> make_tile_hooks(
+    std::span<const std::uint8_t> pixels, std::span<const std::uint32_t> labels,
+    std::span<const std::uint32_t> border_offsets) {
+  // Step 1: collect (label, offset) for every coloured border pixel.
+  std::vector<TileHook> hooks;
+  for (const auto offset : border_offsets) {
+    if (pixels[offset] != 0) {
+      hooks.push_back(TileHook{labels[offset], offset});
+    }
+  }
+  // Step 2: radix sort by label.
+  sortutil::hybrid_sort_by(hooks, [](const TileHook& h) { return h.label; });
+  // Step 3: keep one hook per label.
+  std::size_t unique = 0;
+  for (std::size_t i = 0; i < hooks.size(); ++i) {
+    if (unique == 0 || hooks[unique - 1].label != hooks[i].label) {
+      hooks[unique++] = hooks[i];
+    }
+  }
+  hooks.resize(unique);
+  return hooks;
+}
+
+void update_border_labels(std::span<std::uint32_t> labels,
+                          std::span<const std::uint8_t> pixels,
+                          std::span<const std::uint32_t> border_offsets,
+                          std::span<const ChangePair> changes) {
+  if (changes.empty()) return;
+  for (const auto offset : border_offsets) {
+    if (pixels[offset] == 0) continue;
+    labels[offset] = apply_changes(changes, labels[offset]);
+  }
+}
+
+void update_all_labels(std::span<std::uint32_t> labels,
+                       std::span<const std::uint8_t> pixels,
+                       std::span<const ChangePair> changes) {
+  if (changes.empty()) return;
+  for (std::size_t idx = 0; idx < labels.size(); ++idx) {
+    if (pixels[idx] == 0) continue;
+    labels[idx] = apply_changes(changes, labels[idx]);
+  }
+}
+
+void relabel_interior(std::span<std::uint32_t> labels, std::uint32_t rows,
+                      std::uint32_t cols, std::span<const TileHook> hooks,
+                      ccseq::Connectivity conn,
+                      std::vector<std::uint8_t>& visited) {
+  const std::size_t count = static_cast<std::size_t>(rows) * cols;
+  HISTCC_REQUIRE(labels.size() >= count, "label span too small");
+  visited.assign(count, 0);
+  const bool eight = conn == ccseq::Connectivity::kEight;
+
+  std::vector<std::uint32_t> queue;
+  for (const auto& hook : hooks) {
+    const std::uint32_t current = labels[hook.offset];
+    if (current == hook.label) continue;  // component label survived
+    const std::uint32_t stale = hook.label;
+    if (visited[hook.offset]) continue;
+
+    // BFS through the component: pixels still carrying the stale label or
+    // already carrying the final one.  Labels are unique per component, so
+    // the walk cannot escape into a neighbouring component.
+    queue.clear();
+    queue.push_back(hook.offset);
+    visited[hook.offset] = 1;
+    labels[hook.offset] = current;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const std::uint32_t idx = queue[head];
+      const std::uint32_t i = idx / cols;
+      const std::uint32_t j = idx % cols;
+      auto visit = [&](std::uint32_t ni, std::uint32_t nj) {
+        const std::uint32_t nidx = ni * cols + nj;
+        if (visited[nidx]) return;
+        if (labels[nidx] != stale && labels[nidx] != current) return;
+        visited[nidx] = 1;
+        labels[nidx] = current;
+        queue.push_back(nidx);
+      };
+      const bool has_n = i > 0;
+      const bool has_s = i + 1 < rows;
+      const bool has_w = j > 0;
+      const bool has_e = j + 1 < cols;
+      if (has_n) visit(i - 1, j);
+      if (has_s) visit(i + 1, j);
+      if (has_w) visit(i, j - 1);
+      if (has_e) visit(i, j + 1);
+      if (eight) {
+        if (has_n && has_w) visit(i - 1, j - 1);
+        if (has_n && has_e) visit(i - 1, j + 1);
+        if (has_s && has_w) visit(i + 1, j - 1);
+        if (has_s && has_e) visit(i + 1, j + 1);
+      }
+    }
+  }
+}
+
+}  // namespace histcc::cc

@@ -1,0 +1,82 @@
+#include "histcc/cc/merge_schedule.hpp"
+
+namespace histcc::cc {
+
+std::vector<MergePhase> merge_schedule(util::GridShape grid) {
+  HISTCC_REQUIRE(util::is_pow2(grid.rows) && util::is_pow2(grid.cols),
+                 "grid dimensions must be powers of two");
+  HISTCC_REQUIRE(grid.cols == grid.rows || grid.cols == 2 * grid.rows,
+                 "grid must be the paper's v x w shape (w = v or 2v)");
+  const unsigned log_v = util::log2_exact(grid.rows);
+  const unsigned log_w = util::log2_exact(grid.cols);
+  const unsigned log_p = log_v + log_w;
+
+  std::vector<MergePhase> schedule;
+  schedule.reserve(log_p);
+  for (std::uint32_t t = 1; t <= log_p; ++t) {
+    MergePhase phase{};
+    phase.t = t;
+    phase.horizontal = (t % 2) == 1;
+    if (phase.horizontal) {
+      const std::uint32_t h = (t + 1) / 2;  // horizontal merge number
+      phase.region_rows = std::uint32_t{1} << (h - 1);
+      phase.region_cols = std::uint32_t{1} << (h - 1);
+      phase.group_rows = phase.region_rows;
+      phase.group_cols = phase.region_cols * 2;
+    } else {
+      const std::uint32_t u = t / 2;  // vertical merge number
+      phase.region_rows = std::uint32_t{1} << (u - 1);
+      phase.region_cols = std::uint32_t{1} << u;
+      phase.group_rows = phase.region_rows * 2;
+      phase.group_cols = phase.region_cols;
+    }
+    HISTCC_ASSERT(phase.group_rows <= grid.rows &&
+                  phase.group_cols <= grid.cols);
+    schedule.push_back(phase);
+  }
+  return schedule;
+}
+
+GroupInfo group_of(const MergePhase& phase, util::GridShape grid,
+                   std::uint32_t grid_row, std::uint32_t grid_col) {
+  HISTCC_REQUIRE(grid_row < grid.rows && grid_col < grid.cols,
+                 "grid position out of range");
+  GroupInfo group{};
+  group.rows = phase.group_rows;
+  group.cols = phase.group_cols;
+  group.row0 = (grid_row / phase.group_rows) * phase.group_rows;
+  group.col0 = (grid_col / phase.group_cols) * phase.group_cols;
+  group.horizontal = phase.horizontal;
+
+  const auto rank_at = [&](std::uint32_t i, std::uint32_t j) {
+    return i * grid.cols + j;
+  };
+  if (phase.horizontal) {
+    // Vertical border between the group's two side-by-side regions.
+    group.border_lo = group.col0 + phase.region_cols - 1;
+    group.side_procs = group.rows;
+    group.manager = rank_at(group.row0, group.border_lo);
+    group.shadow = rank_at(group.row0, group.border_lo + 1);
+  } else {
+    // Horizontal border between the group's two stacked regions.
+    group.border_lo = group.row0 + phase.region_rows - 1;
+    group.side_procs = group.cols;
+    group.manager = rank_at(group.border_lo, group.col0);
+    group.shadow = rank_at(group.border_lo + 1, group.col0);
+  }
+  return group;
+}
+
+std::vector<std::uint32_t> group_members(const GroupInfo& group,
+                                         util::GridShape grid) {
+  std::vector<std::uint32_t> members;
+  members.reserve(static_cast<std::size_t>(group.rows) * group.cols);
+  for (std::uint32_t i = group.row0; i < group.row0 + group.rows; ++i) {
+    for (std::uint32_t j = group.col0; j < group.col0 + group.cols; ++j) {
+      members.push_back(i * grid.cols + j);
+    }
+  }
+  return members;
+}
+
+}  // namespace histcc::cc

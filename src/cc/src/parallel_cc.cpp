@@ -1,0 +1,292 @@
+#include "histcc/cc/parallel_cc.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "histcc/bdm/primitives.hpp"
+#include "histcc/cc/border_graph.hpp"
+#include "histcc/cc/hooks.hpp"
+#include "histcc/cc/merge_schedule.hpp"
+#include "histcc/cc_seq/bfs_label.hpp"
+#include "histcc/util/require.hpp"
+#include "histcc/util/timer.hpp"
+
+namespace histcc::cc {
+namespace {
+
+// Abstract RAM operations charged per unit of work, so modeled Tcomp is
+// comparable with the calibrated per-op costs in splitc::MachineProfile
+// (one op = one histogram-tally pixel visit).  A BFS pixel visit touches
+// the queue, the mark, and up to eight neighbours; sorting and graph
+// construction cost a few ops per element.
+constexpr std::uint64_t kOpsPerLabeledPixel = 12;   // init BFS + hooks
+constexpr std::uint64_t kOpsPerSortedBorderElem = 3;   // pack + radix sort
+constexpr std::uint64_t kOpsPerMergedBorderElem = 10;  // graph + BFS + changes
+constexpr std::uint64_t kOpsPerBorderUpdate = 4;       // binary search step
+constexpr std::uint64_t kOpsPerRelabeledPixel = 6;     // final BFS visit
+
+/// Everything one virtual processor needs across the merge iterations.
+struct ProcState {
+  std::vector<std::uint32_t> border_offsets;  ///< my tile's border pixels
+  std::vector<TileHook> hooks;
+  ccseq::BfsScratch bfs;
+  std::vector<std::uint8_t> visited;
+  // Manager-side staging for one merge.
+  std::vector<std::uint8_t> lo_px, hi_px;
+  std::vector<std::uint32_t> lo_lb, hi_lb;
+  std::vector<std::uint32_t> lo_sorted, hi_sorted;
+  std::vector<ChangePair> changes;
+};
+
+}  // namespace
+
+void connected_components_parallel(splitc::Machine& machine,
+                                   const img::TileLayout& layout,
+                                   splitc::Spread<std::uint8_t>& tiles,
+                                   splitc::Spread<std::uint32_t>& labels,
+                                   const CcOptions& options,
+                                   CcPhases* phases) {
+  HISTCC_REQUIRE(tiles.nprocs() == machine.nprocs() &&
+                     tiles.per_proc() >= layout.tile_size(),
+                 "tiles spread does not match layout");
+  HISTCC_REQUIRE(labels.nprocs() == machine.nprocs() &&
+                     labels.per_proc() >= layout.tile_size(),
+                 "labels spread does not match layout");
+  const std::uint32_t q = layout.tile_rows();
+  const std::uint32_t r = layout.tile_cols();
+  const util::GridShape grid{layout.grid_rows(), layout.grid_cols()};
+  const auto schedule = merge_schedule(grid);
+
+  // Distributed state shared by the SPMD program.
+  splitc::SpreadVec<std::uint8_t> pack_px(machine);    // packed border pixels
+  splitc::SpreadVec<std::uint32_t> pack_lb(machine);   // packed border labels
+  splitc::SpreadVec<std::uint8_t> agg_px(machine);     // shadow's far side
+  splitc::SpreadVec<std::uint32_t> agg_lb(machine);
+  splitc::SpreadVec<std::uint32_t> agg_sorted(machine);
+  splitc::SpreadVec<ChangePair> chg(machine);          // manager's change list
+  splitc::SpreadVec<ChangePair> stage(machine);        // eq. (9) staging
+
+  CcPhases local_phases;
+  local_phases.merge_phases = static_cast<std::uint32_t>(schedule.size());
+
+  machine.run([&](splitc::Proc& self) {
+    ProcState st;
+    const std::uint32_t rank = self.rank();
+    const std::uint32_t grid_row = layout.proc_row(rank);
+    const std::uint32_t grid_col = layout.proc_col(rank);
+    const bool timing = rank == 0;
+    util::Timer timer;
+
+    // -------- Phase 0: initialization (Section 5.1) --------
+    auto my_px = tiles.local(self);
+    auto my_lb = labels.local(self);
+    ccseq::label_tile(
+        my_px, my_lb, q, r, options.connectivity, options.rule,
+        [&](std::uint32_t i, std::uint32_t j) {
+          return layout.initial_label(rank, i, j);
+        },
+        st.bfs);
+    st.border_offsets = tile_border_offsets(q, r);
+    st.hooks = make_tile_hooks(my_px, my_lb, st.border_offsets);
+    self.charge_ops(kOpsPerLabeledPixel * layout.tile_size());
+    self.barrier();
+    if (timing) local_phases.init_s = timer.seconds();
+
+    // -------- log p merge iterations (Sections 5.2-5.4) --------
+    for (const auto& phase : schedule) {
+      const GroupInfo group = group_of(phase, grid, grid_row, grid_col);
+      const std::size_t side_words = phase.horizontal ? q : r;
+      const std::size_t side_len =
+          static_cast<std::size_t>(group.side_procs) * side_words;
+
+      // Pack my strip of the border, if I own one.
+      timer.reset();
+      {
+        auto& ppx = pack_px.local(self);
+        auto& plb = pack_lb.local(self);
+        ppx.clear();
+        plb.clear();
+        if (phase.horizontal) {
+          if (grid_col == group.border_lo) {  // east column of my tile
+            ppx.resize(q);
+            plb.resize(q);
+            for (std::uint32_t i = 0; i < q; ++i) {
+              ppx[i] = my_px[static_cast<std::size_t>(i) * r + r - 1];
+              plb[i] = my_lb[static_cast<std::size_t>(i) * r + r - 1];
+            }
+          } else if (grid_col == group.border_lo + 1) {  // west column
+            ppx.resize(q);
+            plb.resize(q);
+            for (std::uint32_t i = 0; i < q; ++i) {
+              ppx[i] = my_px[static_cast<std::size_t>(i) * r];
+              plb[i] = my_lb[static_cast<std::size_t>(i) * r];
+            }
+          }
+        } else {
+          if (grid_row == group.border_lo) {  // south row of my tile
+            const std::size_t base = static_cast<std::size_t>(q - 1) * r;
+            ppx.assign(my_px.begin() + static_cast<std::ptrdiff_t>(base),
+                       my_px.begin() + static_cast<std::ptrdiff_t>(base + r));
+            plb.assign(my_lb.begin() + static_cast<std::ptrdiff_t>(base),
+                       my_lb.begin() + static_cast<std::ptrdiff_t>(base + r));
+          } else if (grid_row == group.border_lo + 1) {  // north row
+            ppx.assign(my_px.begin(), my_px.begin() + r);
+            plb.assign(my_lb.begin(), my_lb.begin() + r);
+          }
+        }
+      }
+      self.barrier();  // publish packed strips
+
+      // Fetch and sort the border sides.
+      const bool is_manager = rank == group.manager;
+      const bool is_shadow =
+          options.use_shadow_manager && rank == group.shadow;
+      auto strip_owner = [&](bool lo_side, std::uint32_t idx) {
+        const std::uint32_t fixed =
+            lo_side ? group.border_lo : group.border_lo + 1;
+        if (phase.horizontal) {
+          return layout.rank_at(group.row0 + idx, fixed);
+        }
+        return layout.rank_at(fixed, group.col0 + idx);
+      };
+      auto pull_side = [&](bool lo_side, std::vector<std::uint8_t>& px,
+                           std::vector<std::uint32_t>& lb) {
+        px.resize(side_len);
+        lb.resize(side_len);
+        for (std::uint32_t idx = 0; idx < group.side_procs; ++idx) {
+          const std::uint32_t owner = strip_owner(lo_side, idx);
+          const std::size_t off = static_cast<std::size_t>(idx) * side_words;
+          pack_px.prefetch(self,
+                           std::span<std::uint8_t>(px).subspan(off, side_words),
+                           owner, 0, side_words);
+          pack_lb.prefetch(self,
+                           std::span<std::uint32_t>(lb).subspan(off, side_words),
+                           owner, 0, side_words);
+        }
+        self.sync();
+      };
+
+      if (is_manager) {
+        pull_side(true, st.lo_px, st.lo_lb);
+        st.lo_sorted =
+            sort_side_by_label(BorderSide{st.lo_px, st.lo_lb});
+        if (!options.use_shadow_manager) {
+          pull_side(false, st.hi_px, st.hi_lb);
+          st.hi_sorted =
+              sort_side_by_label(BorderSide{st.hi_px, st.hi_lb});
+        }
+      }
+      if (is_shadow) {
+        // The shadow manager fetches and sorts its own side, then exposes
+        // the results for the manager (Section 5.3).
+        pull_side(false, st.hi_px, st.hi_lb);
+        st.hi_sorted = sort_side_by_label(BorderSide{st.hi_px, st.hi_lb});
+        agg_px.local(self) = st.hi_px;
+        agg_lb.local(self) = st.hi_lb;
+        agg_sorted.local(self) = st.hi_sorted;
+        self.charge_ops(kOpsPerSortedBorderElem * side_len);
+      }
+      // Without a shadow manager the group manager fetches and sorts both
+      // sides itself, doubling its critical-path sort work (Section 5.3).
+      if (is_manager) {
+        self.charge_ops(kOpsPerSortedBorderElem * side_len *
+                        (options.use_shadow_manager ? 1 : 2));
+      }
+      self.barrier();  // publish shadow aggregates
+      if (timing) local_phases.border_s += timer.seconds();
+
+      // Manager: solve the border-graph problem, publish the change array.
+      timer.reset();
+      if (is_manager) {
+        if (options.use_shadow_manager) {
+          st.hi_px.resize(side_len);
+          st.hi_lb.resize(side_len);
+          agg_px.prefetch(self, st.hi_px, group.shadow, 0, side_len);
+          agg_lb.prefetch(self, st.hi_lb, group.shadow, 0, side_len);
+          const std::size_t sorted_len =
+              agg_sorted.size_of(self, group.shadow);
+          st.hi_sorted.resize(sorted_len);
+          agg_sorted.prefetch(self, st.hi_sorted, group.shadow, 0, sorted_len);
+          self.sync();
+        }
+        st.changes = merge_border(BorderSide{st.lo_px, st.lo_lb},
+                                  st.lo_sorted,
+                                  BorderSide{st.hi_px, st.hi_lb},
+                                  st.hi_sorted, options.connectivity,
+                                  options.rule);
+        chg.local(self) = st.changes;
+        self.charge_ops(kOpsPerMergedBorderElem * side_len);
+      }
+      self.barrier();  // publish change array
+      if (timing) local_phases.graph_s += timer.seconds();
+
+      // Distribute the change array to the group and update borders.
+      timer.reset();
+      const std::size_t total_changes = chg.size_of(self, group.manager);
+      if (options.eq9_distribution) {
+        const auto members = group_members(group, grid);
+        const std::size_t my_index = static_cast<std::size_t>(
+            std::find(members.begin(), members.end(), rank) -
+            members.begin());
+        HISTCC_ASSERT(my_index < members.size());
+        const std::size_t root_index = static_cast<std::size_t>(
+            std::find(members.begin(), members.end(), group.manager) -
+            members.begin());
+        bdm::scatter_group(self, members, my_index, root_index, chg, stage);
+        self.barrier();  // publish staged slices
+        bdm::allgather_group(self, members, my_index, total_changes, stage,
+                             st.changes);
+      } else {
+        st.changes.resize(total_changes);
+        chg.prefetch(self, st.changes, group.manager, 0, total_changes);
+        self.sync();
+      }
+
+      if (options.full_relabel_each_phase) {
+        update_all_labels(my_lb, my_px, st.changes);
+        self.charge_ops(kOpsPerBorderUpdate * layout.tile_size());
+      } else {
+        update_border_labels(my_lb, my_px, st.border_offsets, st.changes);
+        self.charge_ops(kOpsPerBorderUpdate * st.border_offsets.size());
+      }
+      self.barrier();  // end of merge iteration
+      if (timing) local_phases.update_s += timer.seconds();
+    }
+
+    // -------- Total consistency update --------
+    timer.reset();
+    if (!options.full_relabel_each_phase) {
+      relabel_interior(my_lb, q, r, st.hooks, options.connectivity,
+                       st.visited);
+      self.charge_ops(kOpsPerRelabeledPixel * layout.tile_size());
+    }
+    self.barrier();
+    if (timing) local_phases.final_s = timer.seconds();
+  });
+
+  if (phases != nullptr) *phases = local_phases;
+}
+
+img::LabelImage connected_components_parallel(splitc::Machine& machine,
+                                              const img::TileLayout& layout,
+                                              splitc::Spread<std::uint8_t>& tiles,
+                                              const CcOptions& options,
+                                              CcPhases* phases) {
+  splitc::Spread<std::uint32_t> labels(machine, layout.tile_size());
+  connected_components_parallel(machine, layout, tiles, labels, options,
+                                phases);
+  return layout.gather(labels);
+}
+
+img::LabelImage connected_components_parallel(splitc::Machine& machine,
+                                              const img::GreyImage& image,
+                                              const CcOptions& options,
+                                              CcPhases* phases) {
+  const img::TileLayout layout(image.height(), machine.nprocs());
+  splitc::Spread<std::uint8_t> tiles(machine, layout.tile_size());
+  layout.scatter(image, tiles);
+  return connected_components_parallel(machine, layout, tiles, options,
+                                       phases);
+}
+
+}  // namespace histcc::cc

@@ -1,0 +1,130 @@
+#include "histcc/cc/region_graph.hpp"
+
+#include <algorithm>
+
+#include "histcc/image/halo.hpp"
+#include "histcc/sortutil/radix.hpp"
+#include "histcc/util/require.hpp"
+
+namespace histcc::cc {
+namespace {
+
+/// Emit the edge (a, b) normalized to a < b if both labels are distinct
+/// foreground.
+void emit(std::vector<RegionEdge>& edges, std::uint32_t a, std::uint32_t b) {
+  if (a == 0 || b == 0 || a == b) return;
+  edges.push_back(a < b ? RegionEdge{a, b} : RegionEdge{b, a});
+}
+
+/// Scan the centre of a padded label buffer, emitting each adjacency
+/// exactly once via the forward stencil (E, S, SE, SW).  `rows` x `cols`
+/// is the unpadded extent; `stride` the padded row length; the buffer's
+/// origin is the padded (0,0).
+void forward_scan(const std::uint32_t* padded, std::size_t stride,
+                  std::uint32_t rows, std::uint32_t cols, bool eight,
+                  std::vector<RegionEdge>& edges) {
+  for (std::uint32_t i = 1; i <= rows; ++i) {
+    for (std::uint32_t j = 1; j <= cols; ++j) {
+      const std::size_t c = i * stride + j;
+      const std::uint32_t me = padded[c];
+      if (me == 0) continue;
+      emit(edges, me, padded[c + 1]);        // east
+      emit(edges, me, padded[c + stride]);   // south
+      if (eight) {
+        emit(edges, me, padded[c + stride + 1]);  // south-east
+        emit(edges, me, padded[c + stride - 1]);  // south-west
+      }
+    }
+  }
+}
+
+/// Sort + unique (Procedure 1 idiom over 64-bit keys).
+void dedupe(std::vector<RegionEdge>& edges) {
+  sortutil::hybrid_sort_by(edges,
+                           [](const RegionEdge& e) { return e.b; });
+  sortutil::hybrid_sort_by(edges,
+                           [](const RegionEdge& e) { return e.a; });
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+}
+
+}  // namespace
+
+std::vector<RegionEdge> region_adjacency(const img::LabelImage& labels,
+                                         ccseq::Connectivity conn) {
+  const std::uint32_t rows = labels.height();
+  const std::uint32_t cols = labels.width();
+  std::vector<RegionEdge> edges;
+  if (labels.empty()) return edges;
+
+  // Zero-padded copy so the stencil needs no bounds checks.
+  const std::size_t stride = cols + 2;
+  std::vector<std::uint32_t> padded((rows + 2) * stride, 0);
+  for (std::uint32_t i = 0; i < rows; ++i) {
+    for (std::uint32_t j = 0; j < cols; ++j) {
+      padded[(i + 1) * stride + (j + 1)] = labels(i, j);
+    }
+  }
+  forward_scan(padded.data(), stride, rows, cols,
+               conn == ccseq::Connectivity::kEight, edges);
+  dedupe(edges);
+  return edges;
+}
+
+std::vector<RegionEdge> region_adjacency_parallel(
+    splitc::Machine& machine, const img::TileLayout& layout,
+    splitc::Spread<std::uint32_t>& labels, ccseq::Connectivity conn) {
+  HISTCC_REQUIRE(labels.nprocs() == machine.nprocs() &&
+                     labels.per_proc() >= layout.tile_size(),
+                 "labels spread does not match layout");
+  const std::uint32_t p = machine.nprocs();
+  const bool eight = conn == ccseq::Connectivity::kEight;
+
+  img::HaloExchangerT<std::uint32_t> halos(machine, layout);
+  splitc::SpreadVec<RegionEdge> partial(machine);
+  std::vector<RegionEdge> merged;
+
+  machine.run([&](splitc::Proc& self) {
+    // The one-pixel label halo turns every cross-tile adjacency into a
+    // local stencil application.  The forward stencil assigns each pair
+    // to exactly one owner globally, so no edge is counted twice — except
+    // that a pair straddling a tile border is seen by the forward scan of
+    // exactly the tile owning its first endpoint, which is what the halo
+    // (rather than a double-width exchange) guarantees.
+    std::vector<std::uint32_t> halo;
+    halos.exchange(self, labels, halo);
+    auto& mine = partial.local(self);
+    mine.clear();
+    forward_scan(halo.data(), halos.halo_cols(), layout.tile_rows(),
+                 layout.tile_cols(), eight, mine);
+    dedupe(mine);
+    self.charge_ops((eight ? 4ull : 2ull) * layout.tile_size());
+    self.barrier();  // publish partial edge lists
+
+    if (self.rank() == 0) {
+      for (std::uint32_t from = 0; from < p; ++from) {
+        const std::size_t count = partial.size_of(self, from);
+        const std::size_t base = merged.size();
+        merged.resize(base + count);
+        partial.prefetch(
+            self, std::span<RegionEdge>(merged).subspan(base, count), from,
+            0, count);
+      }
+      self.sync();
+      dedupe(merged);
+      self.charge_ops(3 * merged.size());
+    }
+    self.barrier();
+  });
+  return merged;
+}
+
+std::vector<RegionEdge> region_adjacency_parallel(splitc::Machine& machine,
+                                                  const img::LabelImage& labels,
+                                                  ccseq::Connectivity conn) {
+  const img::TileLayout layout(labels.height(), machine.nprocs());
+  splitc::Spread<std::uint32_t> tiles(machine, layout.tile_size());
+  layout.scatter(labels, tiles);
+  return region_adjacency_parallel(machine, layout, tiles, conn);
+}
+
+}  // namespace histcc::cc

@@ -1,0 +1,47 @@
+#include "histcc/cc/replicated.hpp"
+
+#include "histcc/bdm/primitives.hpp"
+#include "histcc/cc_seq/bfs_label.hpp"
+#include "histcc/util/require.hpp"
+
+namespace histcc::cc {
+
+img::LabelImage connected_components_replicated(splitc::Machine& machine,
+                                                const img::GreyImage& image,
+                                                ccseq::Connectivity conn,
+                                                ccseq::ColourRule rule) {
+  const std::uint32_t n = image.height();
+  HISTCC_REQUIRE(n == image.width(), "image must be square");
+  const std::uint32_t p = machine.nprocs();
+  const std::size_t total = image.size();
+  HISTCC_REQUIRE(total % p == 0, "p must divide n^2");
+
+  // The whole image starts on processor 0 and is broadcast to everyone.
+  splitc::Spread<std::uint8_t> src(machine, total);
+  splitc::Spread<std::uint8_t> replica(machine, total);
+  splitc::Spread<std::uint8_t> scratch(machine, total);
+  std::copy(image.pixels().begin(), image.pixels().end(),
+            src.block(0).begin());
+
+  img::LabelImage result(n, n);
+  machine.run([&](splitc::Proc& self) {
+    bdm::broadcast(self, replica, src, scratch, total);
+
+    // Every processor labels the complete image — that is the point of
+    // the baseline: the sequential work is fully replicated.
+    std::vector<std::uint32_t> labels(total);
+    ccseq::BfsScratch bfs;
+    ccseq::label_tile(
+        replica.local(self), labels, n, n, conn, rule,
+        [n](std::uint32_t i, std::uint32_t j) { return i * n + j + 1; },
+        bfs);
+    self.charge_ops(12 * total);  // same per-pixel BFS cost as parallel_cc
+
+    if (self.rank() == 0) {
+      std::copy(labels.begin(), labels.end(), result.pixels().begin());
+    }
+  });
+  return result;
+}
+
+}  // namespace histcc::cc

@@ -1,0 +1,44 @@
+#ifndef HISTCC_CC_SEQ_COMMON_HPP
+#define HISTCC_CC_SEQ_COMMON_HPP
+
+/// \file common.hpp
+/// Shared vocabulary of the connected-components labelers.
+///
+/// The paper uses both 4-connectivity (N/E/S/W neighbours) and
+/// 8-connectivity (all surrounding positions), and two colour rules:
+/// binary images (Section 5: every nonzero pixel is foreground and
+/// mutually connectable) and grey-level images (Section 6: only
+/// equal-nonzero-colour pixels connect).  All labelers in this library are
+/// parameterized by both.
+///
+/// Canonical labeling: every foreground pixel receives
+/// 1 + (row-major index of the smallest-indexed pixel of its component);
+/// background pixels receive 0.  The paper's sequential BFS labeler
+/// produces this by construction (the BFS seed is the first component
+/// pixel in row-major scan order and labels are derived from pixel
+/// position), and the parallel algorithm reproduces it exactly when merge
+/// steps keep the minimum label of each merged component — which ours do.
+/// Exact-equality testing of independent implementations falls out.
+
+#include <cstdint>
+
+namespace histcc::ccseq {
+
+/// Neighbourhood definition.
+enum class Connectivity : int {
+  kFour = 4,   ///< north, east, south, west
+  kEight = 8,  ///< the eight surrounding positions
+};
+
+/// Which pixels may join the same component.
+enum class ColourRule : int {
+  kBinary = 0,      ///< any two nonzero pixels may connect (Section 5)
+  kSameColour = 1,  ///< only equal nonzero colours connect (Section 6)
+};
+
+/// Label assigned to background (grey level 0) pixels.
+inline constexpr std::uint32_t kBackgroundLabel = 0;
+
+}  // namespace histcc::ccseq
+
+#endif  // HISTCC_CC_SEQ_COMMON_HPP

@@ -1,0 +1,18 @@
+#include "histcc/histcc.hpp"
+
+namespace histcc {
+
+std::vector<std::uint32_t> histogram(const img::GreyImage& image,
+                                     std::uint32_t k, std::uint32_t nprocs) {
+  splitc::Machine machine(nprocs);
+  return hist::histogram_parallel(machine, image, k);
+}
+
+img::LabelImage connected_components(const img::GreyImage& image,
+                                     std::uint32_t nprocs,
+                                     const cc::CcOptions& options) {
+  splitc::Machine machine(nprocs);
+  return cc::connected_components_parallel(machine, image, options);
+}
+
+}  // namespace histcc

@@ -1,0 +1,7 @@
+#include "histcc/histcc.hpp"
+
+namespace histcc {
+
+const char* version() noexcept { return "1.0.0"; }
+
+}  // namespace histcc

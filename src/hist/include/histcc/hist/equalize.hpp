@@ -1,0 +1,44 @@
+#ifndef HISTCC_HIST_EQUALIZE_HPP
+#define HISTCC_HIST_EQUALIZE_HPP
+
+/// \file equalize.hpp
+/// Histogram equalization — the application Section 4 motivates
+/// histogramming with ("flattens the histogram and improves the contrast
+/// of an image by spreading out colours").
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "histcc/image/image.hpp"
+#include "histcc/image/layout.hpp"
+#include "histcc/splitc/machine.hpp"
+#include "histcc/splitc/spread.hpp"
+
+namespace histcc::hist {
+
+/// The standard CDF remapping table: level g maps to
+/// round((cdf(g) - cdf_min) / (n_pixels - cdf_min) * (k - 1)).
+/// `counts` is a k-bar histogram of an image with `total` pixels.
+[[nodiscard]] std::vector<std::uint8_t> equalization_map(
+    std::span<const std::uint32_t> counts, std::uint64_t total);
+
+/// Equalize `image` (k grey levels, power of two in [2, 256]) using its own
+/// histogram; returns the remapped image.
+[[nodiscard]] img::GreyImage equalize(const img::GreyImage& image,
+                                      std::uint32_t k);
+
+/// Fully parallel equalization over an already-distributed image: the
+/// histogram is computed with the paper's parallel algorithm, processor 0
+/// builds the k-entry remap table, the table is broadcast to every
+/// processor with Algorithm 2 (two matrix transpositions), and each
+/// processor remaps its own tile in place.
+/// Tcomm <= 2(tau + k) + 2(tau + k - k/p); Tcomp = O(n^2/p + k).
+/// Requires p | k (use the sequential path for k < p).  Collective.
+void equalize_parallel(splitc::Machine& machine,
+                       const img::TileLayout& layout,
+                       splitc::Spread<std::uint8_t>& tiles, std::uint32_t k);
+
+}  // namespace histcc::hist
+
+#endif  // HISTCC_HIST_EQUALIZE_HPP

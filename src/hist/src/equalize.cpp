@@ -1,0 +1,87 @@
+#include "histcc/hist/equalize.hpp"
+
+#include <cmath>
+
+#include "histcc/bdm/primitives.hpp"
+#include "histcc/hist/histogram.hpp"
+#include "histcc/util/require.hpp"
+
+namespace histcc::hist {
+
+std::vector<std::uint8_t> equalization_map(
+    std::span<const std::uint32_t> counts, std::uint64_t total) {
+  const std::size_t k = counts.size();
+  HISTCC_REQUIRE(k >= 2 && k <= 256, "histogram must have 2..256 bars");
+  HISTCC_REQUIRE(total > 0, "image must be non-empty");
+
+  // First nonzero CDF value; the classic formula anchors it at output 0.
+  std::uint64_t cdf = 0;
+  std::uint64_t cdf_min = 0;
+  for (std::size_t g = 0; g < k; ++g) {
+    if (counts[g] != 0) {
+      cdf_min = counts[g];
+      break;
+    }
+  }
+  const std::uint64_t denom = total - cdf_min;
+
+  std::vector<std::uint8_t> map(k, 0);
+  for (std::size_t g = 0; g < k; ++g) {
+    cdf += counts[g];
+    if (denom == 0) {
+      // Single-level image: identity-ish mapping, everything to 0.
+      map[g] = 0;
+      continue;
+    }
+    const double scaled = static_cast<double>(cdf - cdf_min) /
+                          static_cast<double>(denom) *
+                          static_cast<double>(k - 1);
+    map[g] = static_cast<std::uint8_t>(std::lround(scaled));
+  }
+  return map;
+}
+
+void equalize_parallel(splitc::Machine& machine, const img::TileLayout& layout,
+                       splitc::Spread<std::uint8_t>& tiles, std::uint32_t k) {
+  const std::uint32_t p = machine.nprocs();
+  HISTCC_REQUIRE(k % p == 0, "equalize_parallel requires p | k");
+
+  // Phase 1: the paper's parallel histogram; the bars end on processor 0.
+  const auto counts = hist::histogram_parallel(machine, layout, tiles, k);
+
+  // Phase 2: processor 0 builds the remap table; Algorithm 2 broadcasts
+  // it; every processor remaps its tile locally.
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(layout.n()) * layout.n();
+  const auto map = equalization_map(counts, total);
+
+  splitc::Spread<std::uint8_t> table_src(machine, k);
+  splitc::Spread<std::uint8_t> table(machine, k);
+  splitc::Spread<std::uint8_t> scratch(machine, k);
+  std::copy(map.begin(), map.end(), table_src.block(0).begin());
+
+  machine.run([&](splitc::Proc& self) {
+    bdm::broadcast(self, table, table_src, scratch, k);
+    auto my_map = table.local(self);
+    auto px = tiles.local(self);
+    const std::size_t count = layout.tile_size();
+    for (std::size_t idx = 0; idx < count; ++idx) {
+      px[idx] = my_map[px[idx]];
+    }
+    self.charge_ops(count);
+  });
+}
+
+img::GreyImage equalize(const img::GreyImage& image, std::uint32_t k) {
+  const auto counts = histogram_seq(image, k);
+  const auto map = equalization_map(counts, image.size());
+  img::GreyImage out(image.height(), image.width());
+  auto dst = out.pixels();
+  const auto src = image.pixels();
+  for (std::size_t idx = 0; idx < src.size(); ++idx) {
+    dst[idx] = map[src[idx]];
+  }
+  return out;
+}
+
+}  // namespace histcc::hist

@@ -1,0 +1,131 @@
+#include "histcc/hist/histogram.hpp"
+
+#include <algorithm>
+
+#include "histcc/bdm/primitives.hpp"
+#include "histcc/util/math.hpp"
+#include "histcc/util/require.hpp"
+#include "histcc/util/timer.hpp"
+
+namespace histcc::hist {
+namespace {
+
+void require_k(std::uint32_t k) {
+  HISTCC_REQUIRE(k >= 2 && k <= 256 && util::is_pow2(k),
+                 "grey-level count must be a power of two in [2, 256]");
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> histogram_seq(const img::GreyImage& image,
+                                         std::uint32_t k) {
+  require_k(k);
+  std::vector<std::uint32_t> counts(k, 0);
+  for (const auto px : image.pixels()) {
+    HISTCC_REQUIRE(px < k, "pixel value exceeds grey-level count");
+    ++counts[px];
+  }
+  return counts;
+}
+
+std::vector<std::uint32_t> histogram_parallel(splitc::Machine& machine,
+                                              const img::TileLayout& layout,
+                                              splitc::Spread<std::uint8_t>& tiles,
+                                              std::uint32_t k,
+                                              HistPhases* phases) {
+  require_k(k);
+  HISTCC_REQUIRE(tiles.nprocs() == machine.nprocs() &&
+                     tiles.per_proc() >= layout.tile_size(),
+                 "tiles spread does not match layout");
+  const std::uint32_t p = machine.nprocs();
+
+  // H_i[0..k): each processor's local tally.
+  splitc::Spread<std::uint32_t> local_h(machine, k);
+  // Transpose destination: k/p-row blocks when k >= p, one full row (p
+  // partial counts) when k < p.
+  const std::size_t bars_per_proc = std::max<std::size_t>(k / p, 1);
+  splitc::Spread<std::uint32_t> trans(machine, std::max<std::size_t>(k, p));
+  // Combined bars, ready for collection.
+  splitc::Spread<std::uint32_t> combined(machine, bars_per_proc);
+  // The k-bar histogram, assembled on P0.
+  splitc::Spread<std::uint32_t> result(machine, k);
+
+  HistPhases local_phases;
+  machine.run([&](splitc::Proc& self) {
+    util::Timer timer;
+    const bool timing = self.rank() == 0;
+
+    // Step 1: tally my tile.  O(n^2 / p) local work.
+    {
+      auto h = local_h.local(self);
+      auto px = tiles.local(self);
+      const std::size_t count = layout.tile_size();
+      for (std::size_t idx = 0; idx < count; ++idx) {
+        HISTCC_REQUIRE(px[idx] < k, "pixel value exceeds grey-level count");
+        ++h[px[idx]];
+      }
+      self.charge_ops(count);
+      self.barrier();
+      if (timing) local_phases.tally_s = timer.seconds();
+    }
+
+    // Step 2: rearrange tallies so each grey level's partial counts share a
+    // processor.
+    timer.reset();
+    if (k >= p) {
+      bdm::transpose(self, trans, local_h, k);
+    } else {
+      bdm::truncated_transpose(self, trans, local_h, k);
+    }
+    self.barrier();
+    if (timing) local_phases.transpose_s = timer.seconds();
+
+    // Step 3: combine partial counts locally.  O(k) per processor.
+    timer.reset();
+    {
+      auto in = trans.local(self);
+      auto out = combined.local(self);
+      if (k >= p) {
+        const std::size_t blk = k / p;
+        for (std::size_t j = 0; j < blk; ++j) {
+          std::uint32_t sum = 0;
+          for (std::uint32_t r = 0; r < p; ++r) {
+            sum += in[static_cast<std::size_t>(r) * blk + j];
+          }
+          out[j] = sum;
+        }
+        self.charge_ops(k);
+      } else if (self.rank() < k) {
+        std::uint32_t sum = 0;
+        for (std::uint32_t r = 0; r < p; ++r) sum += in[r];
+        out[0] = sum;
+        self.charge_ops(p);
+      }
+      self.barrier();
+      if (timing) local_phases.combine_s = timer.seconds();
+    }
+
+    // Step 4: P0 collects the k bars with a circular prefetch.
+    timer.reset();
+    const std::uint32_t nblocks = k >= p ? p : k;
+    bdm::gather_to_root(self, result, combined, bars_per_proc, 0, 0, nblocks);
+    self.barrier();
+    if (timing) local_phases.gather_s = timer.seconds();
+  });
+
+  if (phases != nullptr) *phases = local_phases;
+  auto root_block = result.block(0);
+  return std::vector<std::uint32_t>(root_block.begin(), root_block.begin() + k);
+}
+
+std::vector<std::uint32_t> histogram_parallel(splitc::Machine& machine,
+                                              const img::GreyImage& image,
+                                              std::uint32_t k,
+                                              HistPhases* phases) {
+  const img::TileLayout layout(image.height(), machine.nprocs());
+  splitc::Spread<std::uint8_t> tiles(machine, layout.tile_size());
+  layout.scatter(image, tiles);
+  return histogram_parallel(machine, layout, tiles, k, phases);
+}
+
+}  // namespace histcc::hist

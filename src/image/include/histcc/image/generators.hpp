@@ -1,0 +1,88 @@
+#ifndef HISTCC_IMAGE_GENERATORS_HPP
+#define HISTCC_IMAGE_GENERATORS_HPP
+
+/// \file generators.hpp
+/// Runtime-generated test images (Section 3 of the paper).
+///
+/// The paper evaluates connected components on "a catalog of nine
+/// automatically generated scalable images": horizontal, vertical, and
+/// forward- and back-slanting diagonal bars, a cross, a filled disc,
+/// concentric circles with thickness, four squares inset from the four
+/// corners, and a dual-spiral pattern (the "difficult" image of Stout
+/// [42]).  All nine are reproduced here as deterministic functions of the
+/// image side n.
+///
+/// The paper's tenth input, the 512 x 512 256-grey-level DARPA Image
+/// Understanding Benchmark image, is not redistributable; `darpa_like`
+/// generates a seeded synthetic stand-in with the benchmark's character
+/// (overlapping rectangular and elliptical "mobile" pieces over a textured
+/// background — see DESIGN.md, Substitutions).
+///
+/// Extra generators support the application examples: site percolation
+/// lattices and two-state Ising-like spin configurations.
+
+#include <cstdint>
+#include <string_view>
+
+#include "histcc/image/image.hpp"
+
+namespace histcc::img {
+
+/// Identifier for the paper's nine catalog images (Figure 1).
+enum class TestPattern : int {
+  kHorizontalBars = 1,  ///< Image 1: horizontal bars
+  kVerticalBars = 2,    ///< Image 2: vertical bars
+  kForwardDiagonal = 3, ///< Image 3: forward-slanting diagonal bars
+  kBackwardDiagonal = 4,///< Image 4: back-slanting diagonal bars
+  kCross = 5,           ///< Image 5: a cross
+  kDisc = 6,            ///< Image 6: a filled disc
+  kCircles = 7,         ///< Image 7: concentric circles with thickness
+  kFourSquares = 8,     ///< Image 8: four squares inset from the corners
+  kDualSpiral = 9,      ///< Image 9: dual-spiral pattern ("difficult")
+};
+
+/// Total number of catalog patterns.
+inline constexpr int kNumTestPatterns = 9;
+
+/// Human-readable name of a catalog pattern ("horizontal-bars", ...).
+[[nodiscard]] std::string_view pattern_name(TestPattern pattern) noexcept;
+
+/// Generate catalog image `pattern` at side n (binary: 0 background,
+/// 1 foreground).  n must be >= 32, matching the paper's smallest inputs.
+[[nodiscard]] GreyImage make_test_pattern(TestPattern pattern,
+                                          std::uint32_t n);
+
+/// Synthetic stand-in for the DARPA IU Benchmark image: a 256-grey-level
+/// scene of `pieces` overlapping rectangles and ellipses over a lightly
+/// textured background.  Deterministic in (n, seed).
+[[nodiscard]] GreyImage make_darpa_like(std::uint32_t n,
+                                        std::uint64_t seed = 0x0DA52A5EULL,
+                                        std::uint32_t pieces = 260);
+
+/// Site-percolation lattice: each pixel is foreground (1) independently
+/// with probability `occupancy`.  Used by the percolation example ([41] in
+/// the paper) and as a worst-case-ish CC input.
+[[nodiscard]] GreyImage make_percolation(std::uint32_t n, double occupancy,
+                                         std::uint64_t seed = 1);
+
+/// Two-colour spin configuration (values 1 and 2) with short-range
+/// correlation produced by a few sweeps of Metropolis dynamics at inverse
+/// temperature `beta`; the Ising cluster example labels its components
+/// (the paper cites cluster Monte Carlo [2]-[4], [39], [40]).
+[[nodiscard]] GreyImage make_ising(std::uint32_t n, double beta,
+                                   std::uint32_t sweeps = 3,
+                                   std::uint64_t seed = 7);
+
+/// Uniformly random k-grey-level image (values 0..k-1); histogramming's
+/// stress input.  k must be in [2, 256].
+[[nodiscard]] GreyImage make_random_grey(std::uint32_t n, std::uint32_t k,
+                                         std::uint64_t seed = 3);
+
+/// Banded image where grey level g covers a known fraction of the area:
+/// row bands of equal height cycling through 0..k-1.  Histogram tests use
+/// the exact expected counts.
+[[nodiscard]] GreyImage make_banded_grey(std::uint32_t n, std::uint32_t k);
+
+}  // namespace histcc::img
+
+#endif  // HISTCC_IMAGE_GENERATORS_HPP

@@ -1,0 +1,137 @@
+#ifndef HISTCC_IMAGE_HALO_HPP
+#define HISTCC_IMAGE_HALO_HPP
+
+/// \file halo.hpp
+/// One-pixel halo exchange over the tile layout.
+///
+/// Stencil-style algorithms (morphology, region adjacency, the
+/// label-propagation baseline) need each tile's border neighbourhood: the
+/// adjacent pixel line of each of the four neighbouring tiles plus the
+/// four diagonal corner pixels.  `HaloExchangerT<T>` packs every
+/// processor's border lines into a spread buffer, barriers, and pulls the
+/// facing lines into a (q+2) x (r+2) halo whose outer ring is the
+/// neighbours' data (zero outside the image).
+/// Tcomm = tau + (2(q + r) + 4) * words(T) per exchange.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "histcc/image/layout.hpp"
+#include "histcc/splitc/machine.hpp"
+#include "histcc/splitc/spread.hpp"
+
+namespace histcc::img {
+
+/// Reusable halo exchange for tile data of type T (pixels, labels, ...).
+/// Construct on the host; call `exchange` from inside the SPMD program
+/// (collective).
+template <typename T>
+class HaloExchangerT {
+ public:
+  HaloExchangerT(splitc::Machine& machine, const TileLayout& layout)
+      : layout_(layout),
+        lines_(machine, 2ull * (layout.tile_rows() + layout.tile_cols())) {}
+
+  /// Rows of the halo buffer: q + 2.
+  [[nodiscard]] std::uint32_t halo_rows() const noexcept {
+    return layout_.tile_rows() + 2;
+  }
+  /// Columns of the halo buffer: r + 2.
+  [[nodiscard]] std::uint32_t halo_cols() const noexcept {
+    return layout_.tile_cols() + 2;
+  }
+
+  /// Fill `halo` (resized to halo_rows x halo_cols, row-major) with this
+  /// processor's tile in the centre and its neighbours' adjacent lines in
+  /// the outer ring (zeros beyond the image edge).  Collective.
+  void exchange(splitc::Proc& self, splitc::Spread<T>& tiles,
+                std::vector<T>& halo) {
+    const std::uint32_t q = layout_.tile_rows();
+    const std::uint32_t r = layout_.tile_cols();
+    const std::uint32_t v = layout_.grid_rows();
+    const std::uint32_t w = layout_.grid_cols();
+    const std::size_t north = 0, south = r, west = 2ull * r,
+                      east = 2ull * r + q;
+
+    const std::uint32_t rank = self.rank();
+    const std::uint32_t gi = layout_.proc_row(rank);
+    const std::uint32_t gj = layout_.proc_col(rank);
+    auto my_px = tiles.local(self);
+
+    // Pack my four border lines.
+    {
+      auto mine = lines_.local(self);
+      for (std::uint32_t j = 0; j < r; ++j) {
+        mine[north + j] = my_px[j];
+        mine[south + j] = my_px[static_cast<std::size_t>(q - 1) * r + j];
+      }
+      for (std::uint32_t i = 0; i < q; ++i) {
+        mine[west + i] = my_px[static_cast<std::size_t>(i) * r];
+        mine[east + i] = my_px[static_cast<std::size_t>(i) * r + r - 1];
+      }
+    }
+    self.barrier();  // publish lines
+
+    const std::uint32_t hr = halo_cols();
+    halo.assign(static_cast<std::size_t>(halo_rows()) * hr, T{});
+    auto halo_at = [&](std::uint32_t i, std::uint32_t j) -> std::size_t {
+      return static_cast<std::size_t>(i) * hr + j;
+    };
+
+    // Centre: my own tile.
+    for (std::uint32_t i = 0; i < q; ++i) {
+      std::copy_n(my_px.begin() + static_cast<std::ptrdiff_t>(
+                                      static_cast<std::size_t>(i) * r),
+                  r,
+                  halo.begin() + static_cast<std::ptrdiff_t>(
+                                     halo_at(i + 1, 1)));
+    }
+
+    // Facing lines from the four neighbours (plus diagonal corners).
+    std::vector<T> tmp(std::max(q, r));
+    auto pull = [&](std::uint32_t nbr, std::size_t src_off, std::size_t len,
+                    std::uint32_t hi, std::uint32_t hj, bool row_dir) {
+      lines_.prefetch(self, std::span<T>(tmp).subspan(0, len), nbr, src_off,
+                      len);
+      for (std::size_t s = 0; s < len; ++s) {
+        halo[row_dir ? halo_at(hi, hj + static_cast<std::uint32_t>(s))
+                     : halo_at(hi + static_cast<std::uint32_t>(s), hj)] =
+            tmp[s];
+      }
+    };
+    if (gi > 0) pull(layout_.rank_at(gi - 1, gj), south, r, 0, 1, true);
+    if (gi + 1 < v) {
+      pull(layout_.rank_at(gi + 1, gj), north, r, q + 1, 1, true);
+    }
+    if (gj > 0) pull(layout_.rank_at(gi, gj - 1), east, q, 1, 0, false);
+    if (gj + 1 < w) {
+      pull(layout_.rank_at(gi, gj + 1), west, q, 1, r + 1, false);
+    }
+    if (gi > 0 && gj > 0) {
+      pull(layout_.rank_at(gi - 1, gj - 1), south + r - 1, 1, 0, 0, true);
+    }
+    if (gi > 0 && gj + 1 < w) {
+      pull(layout_.rank_at(gi - 1, gj + 1), south, 1, 0, r + 1, true);
+    }
+    if (gi + 1 < v && gj > 0) {
+      pull(layout_.rank_at(gi + 1, gj - 1), north + r - 1, 1, q + 1, 0, true);
+    }
+    if (gi + 1 < v && gj + 1 < w) {
+      pull(layout_.rank_at(gi + 1, gj + 1), north, 1, q + 1, r + 1, true);
+    }
+    self.sync();
+  }
+
+ private:
+  const TileLayout& layout_;
+  // Packed per-processor border lines: [north r][south r][west q][east q].
+  splitc::Spread<T> lines_;
+};
+
+/// The common pixel-data instantiation.
+using HaloExchanger = HaloExchangerT<std::uint8_t>;
+
+}  // namespace histcc::img
+
+#endif  // HISTCC_IMAGE_HALO_HPP

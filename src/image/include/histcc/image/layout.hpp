@@ -1,0 +1,135 @@
+#ifndef HISTCC_IMAGE_LAYOUT_HPP
+#define HISTCC_IMAGE_LAYOUT_HPP
+
+/// \file layout.hpp
+/// The paper's data layout (Section 3): an n x n image is cut into p tiles
+/// assigned to a v x w logical processor grid in row-major order, with
+/// v = 2^floor(d/2), w = 2^ceil(d/2) for p = 2^d.  Each processor owns a
+/// q x r tile, q = n/v rows and r = n/w columns.
+///
+/// `TileLayout` holds the arithmetic; `scatter`/`gather` move whole images
+/// between host memory and the distributed `Spread` representation used by
+/// the SPMD algorithms (tile pixels stored row-major within each block).
+
+#include <cstdint>
+
+#include "histcc/image/image.hpp"
+#include "histcc/splitc/machine.hpp"
+#include "histcc/splitc/spread.hpp"
+#include "histcc/util/math.hpp"
+#include "histcc/util/require.hpp"
+
+namespace histcc::img {
+
+/// Tile geometry for an n x n image on p processors.
+class TileLayout {
+ public:
+  /// \param n image side; \param p processor count (power of two).
+  /// Requires v | n and w | n, i.e. n a multiple of w (the larger grid
+  /// dimension), as the paper assumes.
+  TileLayout(std::uint32_t n, std::uint32_t p)
+      : n_(n), p_(p), grid_(util::grid_shape(p)) {
+    HISTCC_REQUIRE(n > 0, "image side must be positive");
+    HISTCC_REQUIRE(util::is_pow2(p), "processor count must be a power of two");
+    HISTCC_REQUIRE(n % grid_.rows == 0 && n % grid_.cols == 0,
+                   "image side must be divisible by both grid dimensions");
+    q_ = n / grid_.rows;
+    r_ = n / grid_.cols;
+  }
+
+  [[nodiscard]] std::uint32_t n() const noexcept { return n_; }
+  [[nodiscard]] std::uint32_t nprocs() const noexcept { return p_; }
+  /// v: rows of the logical processor grid.
+  [[nodiscard]] std::uint32_t grid_rows() const noexcept { return grid_.rows; }
+  /// w: columns of the logical processor grid.
+  [[nodiscard]] std::uint32_t grid_cols() const noexcept { return grid_.cols; }
+  /// q = n/v: rows per tile.
+  [[nodiscard]] std::uint32_t tile_rows() const noexcept { return q_; }
+  /// r = n/w: columns per tile.
+  [[nodiscard]] std::uint32_t tile_cols() const noexcept { return r_; }
+  /// Pixels per tile (the Spread block size).
+  [[nodiscard]] std::size_t tile_size() const noexcept {
+    return static_cast<std::size_t>(q_) * r_;
+  }
+
+  /// Logical grid row I of processor `rank` (row-major assignment).
+  [[nodiscard]] std::uint32_t proc_row(std::uint32_t rank) const noexcept {
+    return rank / grid_.cols;
+  }
+  /// Logical grid column J of processor `rank`.
+  [[nodiscard]] std::uint32_t proc_col(std::uint32_t rank) const noexcept {
+    return rank % grid_.cols;
+  }
+  /// Rank of the processor at logical grid position (I, J).
+  [[nodiscard]] std::uint32_t rank_at(std::uint32_t grid_row,
+                                      std::uint32_t grid_col) const noexcept {
+    return grid_row * grid_.cols + grid_col;
+  }
+
+  /// Global image row of local row i on processor `rank`.
+  [[nodiscard]] std::uint32_t global_row(std::uint32_t rank,
+                                         std::uint32_t i) const noexcept {
+    return proc_row(rank) * q_ + i;
+  }
+  /// Global image column of local column j on processor `rank`.
+  [[nodiscard]] std::uint32_t global_col(std::uint32_t rank,
+                                         std::uint32_t j) const noexcept {
+    return proc_col(rank) * r_ + j;
+  }
+
+  /// The paper's globally unique initial label of local pixel (i, j) on
+  /// processor `rank`: (I*q + i)*n + (J*r + j) + 1 (Section 5.1).
+  [[nodiscard]] std::uint32_t initial_label(std::uint32_t rank,
+                                            std::uint32_t i,
+                                            std::uint32_t j) const noexcept {
+    return global_row(rank, i) * n_ + global_col(rank, j) + 1;
+  }
+
+  /// Cut a host image into tiles, one Spread block per processor, pixels
+  /// row-major within the tile.
+  template <typename T>
+  void scatter(const Image<T>& image, splitc::Spread<T>& out) const {
+    HISTCC_REQUIRE(image.height() == n_ && image.width() == n_,
+                   "image shape does not match layout");
+    HISTCC_REQUIRE(out.per_proc() >= tile_size() && out.nprocs() == p_,
+                   "spread does not match layout");
+    for (std::uint32_t rank = 0; rank < p_; ++rank) {
+      auto block = out.block(rank);
+      for (std::uint32_t i = 0; i < q_; ++i) {
+        for (std::uint32_t j = 0; j < r_; ++j) {
+          block[static_cast<std::size_t>(i) * r_ + j] =
+              image(global_row(rank, i), global_col(rank, j));
+        }
+      }
+    }
+  }
+
+  /// Reassemble a host image from tiles.
+  template <typename T>
+  [[nodiscard]] Image<T> gather(const splitc::Spread<T>& in) const {
+    HISTCC_REQUIRE(in.per_proc() >= tile_size() && in.nprocs() == p_,
+                   "spread does not match layout");
+    Image<T> image(n_, n_);
+    for (std::uint32_t rank = 0; rank < p_; ++rank) {
+      auto block = in.block(rank);
+      for (std::uint32_t i = 0; i < q_; ++i) {
+        for (std::uint32_t j = 0; j < r_; ++j) {
+          image(global_row(rank, i), global_col(rank, j)) =
+              block[static_cast<std::size_t>(i) * r_ + j];
+        }
+      }
+    }
+    return image;
+  }
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t p_;
+  util::GridShape grid_;
+  std::uint32_t q_ = 0;
+  std::uint32_t r_ = 0;
+};
+
+}  // namespace histcc::img
+
+#endif  // HISTCC_IMAGE_LAYOUT_HPP

@@ -1,0 +1,35 @@
+#ifndef HISTCC_IMAGE_PGM_IO_HPP
+#define HISTCC_IMAGE_PGM_IO_HPP
+
+/// \file pgm_io.hpp
+/// Minimal Netpbm I/O so examples can persist inputs and labelings.
+///
+/// * `write_pgm` / `read_pgm` — binary PGM (P5), 8-bit, for grey images.
+/// * `write_label_ppm`        — binary PPM (P6) false-colour rendering of a
+///                              labeling (hashed label -> RGB), background
+///                              black; handy for eyeballing CC output.
+
+#include <iosfwd>
+#include <string>
+
+#include "histcc/image/image.hpp"
+
+namespace histcc::img {
+
+/// Write `image` as binary PGM (P5) with maxval 255.
+void write_pgm(std::ostream& out, const GreyImage& image);
+void write_pgm_file(const std::string& path, const GreyImage& image);
+
+/// Read a binary (P5) or ASCII (P2) PGM with maxval <= 255.
+/// Throws util::contract_error on malformed input.
+[[nodiscard]] GreyImage read_pgm(std::istream& in);
+[[nodiscard]] GreyImage read_pgm_file(const std::string& path);
+
+/// Write a false-colour PPM (P6) of a labeling: label 0 maps to black,
+/// every other label to a deterministic pseudo-random colour.
+void write_label_ppm(std::ostream& out, const LabelImage& labels);
+void write_label_ppm_file(const std::string& path, const LabelImage& labels);
+
+}  // namespace histcc::img
+
+#endif  // HISTCC_IMAGE_PGM_IO_HPP

@@ -1,0 +1,332 @@
+#include "histcc/image/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "histcc/util/require.hpp"
+#include "histcc/util/rng.hpp"
+
+namespace histcc::img {
+namespace {
+
+constexpr std::uint8_t kBg = 0;
+constexpr std::uint8_t kFg = 1;
+
+// Stripe width used by the bar/ring patterns.  Section 3: images 1-4, 7,
+// and 9 are "augmented to the needed image size" (the feature size stays
+// fixed, so the number of bars/rings/turns grows with n), while images 5,
+// 6, and 8 are "scaled appropriately".  A fixed 4-pixel stripe keeps the
+// small sizes identical to a scaled pattern (n = 64 still has 8 bars) and
+// makes the component count grow linearly with n beyond that.
+std::uint32_t stripe(std::uint32_t n) { return std::min<std::uint32_t>(std::max<std::uint32_t>(n / 16, 2), 4); }
+
+GreyImage horizontal_bars(std::uint32_t n) {
+  GreyImage im(n, n, kBg);
+  const std::uint32_t s = stripe(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if ((i / s) % 2 == 0) {
+      for (std::uint32_t j = 0; j < n; ++j) im(i, j) = kFg;
+    }
+  }
+  return im;
+}
+
+GreyImage vertical_bars(std::uint32_t n) {
+  GreyImage im(n, n, kBg);
+  const std::uint32_t s = stripe(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      if ((j / s) % 2 == 0) im(i, j) = kFg;
+    }
+  }
+  return im;
+}
+
+GreyImage diagonal_bars(std::uint32_t n, bool forward) {
+  GreyImage im(n, n, kBg);
+  const std::uint32_t s = stripe(n);
+  const std::uint32_t period = 2 * s;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      // Forward-slanting bars run along i+j = const; back-slanting along
+      // i-j = const.
+      const std::uint32_t d = forward ? (i + j) % period
+                                      : (i + (n - 1 - j)) % period;
+      if (d < s) im(i, j) = kFg;
+    }
+  }
+  return im;
+}
+
+GreyImage cross(std::uint32_t n) {
+  GreyImage im(n, n, kBg);
+  const std::uint32_t thick = std::max<std::uint32_t>(n / 8, 2);
+  const std::uint32_t lo = (n - thick) / 2;
+  const std::uint32_t hi = lo + thick;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      if ((i >= lo && i < hi) || (j >= lo && j < hi)) im(i, j) = kFg;
+    }
+  }
+  return im;
+}
+
+GreyImage disc(std::uint32_t n) {
+  GreyImage im(n, n, kBg);
+  const double c = (n - 1) / 2.0;
+  const double radius = n / 3.0;
+  const double r2 = radius * radius;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      const double di = i - c;
+      const double dj = j - c;
+      if (di * di + dj * dj <= r2) im(i, j) = kFg;
+    }
+  }
+  return im;
+}
+
+GreyImage circles(std::uint32_t n) {
+  GreyImage im(n, n, kBg);
+  const double c = (n - 1) / 2.0;
+  const double s = stripe(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      const double di = i - c;
+      const double dj = j - c;
+      const double rad = std::sqrt(di * di + dj * dj);
+      if (rad <= c && static_cast<std::uint32_t>(rad / s) % 2 == 1) {
+        im(i, j) = kFg;
+      }
+    }
+  }
+  return im;
+}
+
+GreyImage four_squares(std::uint32_t n) {
+  GreyImage im(n, n, kBg);
+  const std::uint32_t inset = n / 8;
+  const std::uint32_t side = n / 4;
+  const std::uint32_t corners[4][2] = {
+      {inset, inset},
+      {inset, n - inset - side},
+      {n - inset - side, inset},
+      {n - inset - side, n - inset - side}};
+  for (const auto& corner : corners) {
+    for (std::uint32_t i = corner[0]; i < corner[0] + side; ++i) {
+      for (std::uint32_t j = corner[1]; j < corner[1] + side; ++j) {
+        im(i, j) = kFg;
+      }
+    }
+  }
+  return im;
+}
+
+GreyImage dual_spiral(std::uint32_t n) {
+  // Two interleaved Archimedean spiral arms (r = a*theta, arms pi apart),
+  // drawn parametrically by stamping small discs along each arm so that
+  // each arm is one long snaking component with no aliasing fragments.
+  // This is the "difficult" image of Stout [42] for divide-and-conquer
+  // labelers: both components cross every tile boundary many times.
+  GreyImage im(n, n, kBg);
+  const double c = (n - 1) / 2.0;
+  // Pitch: radial distance between successive turns of the same arm.  The
+  // stroke takes 0.3 * pitch, leaving an inter-arm gap of 0.2 * pitch
+  // (> sqrt(2) pixels for pitch >= 8), so the arms never 8-connect.  The
+  // pitch is capped (augmented image, Section 3): beyond n = 256 the
+  // number of turns — and with it the tile-crossing difficulty — keeps
+  // growing with the image size.
+  const double pitch = std::clamp(n / 10.0, 8.0, 26.0);
+  const double a = pitch / (2.0 * std::numbers::pi);
+  const double half_width = 0.15 * pitch;
+  const double max_radius = c - half_width - 1.0;
+
+  auto stamp = [&](double ci, double cj) {
+    const int lo_i = std::max(0, static_cast<int>(std::floor(ci - half_width)));
+    const int hi_i = std::min(static_cast<int>(n) - 1,
+                              static_cast<int>(std::ceil(ci + half_width)));
+    const int lo_j = std::max(0, static_cast<int>(std::floor(cj - half_width)));
+    const int hi_j = std::min(static_cast<int>(n) - 1,
+                              static_cast<int>(std::ceil(cj + half_width)));
+    for (int i = lo_i; i <= hi_i; ++i) {
+      for (int j = lo_j; j <= hi_j; ++j) {
+        const double di = i - ci;
+        const double dj = j - cj;
+        if (di * di + dj * dj <= half_width * half_width) {
+          im(static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j)) =
+              kFg;
+        }
+      }
+    }
+  };
+
+  for (int arm = 0; arm < 2; ++arm) {
+    const double phase = arm * std::numbers::pi;
+    // Start at theta = pi (radius pitch/2) so the two arm tips sit on
+    // opposite sides of an empty central hole and never touch.
+    double theta = std::numbers::pi;
+    while (a * theta <= max_radius) {
+      const double rad = a * theta;
+      stamp(c + rad * std::sin(theta + phase),
+            c + rad * std::cos(theta + phase));
+      theta += 0.5 / std::max(rad, 1.0);  // ~0.5 px arc-length steps
+    }
+  }
+  return im;
+}
+
+}  // namespace
+
+std::string_view pattern_name(TestPattern pattern) noexcept {
+  switch (pattern) {
+    case TestPattern::kHorizontalBars: return "horizontal-bars";
+    case TestPattern::kVerticalBars: return "vertical-bars";
+    case TestPattern::kForwardDiagonal: return "forward-diagonal";
+    case TestPattern::kBackwardDiagonal: return "backward-diagonal";
+    case TestPattern::kCross: return "cross";
+    case TestPattern::kDisc: return "disc";
+    case TestPattern::kCircles: return "concentric-circles";
+    case TestPattern::kFourSquares: return "four-squares";
+    case TestPattern::kDualSpiral: return "dual-spiral";
+  }
+  return "unknown";
+}
+
+GreyImage make_test_pattern(TestPattern pattern, std::uint32_t n) {
+  HISTCC_REQUIRE(n >= 32, "catalog images are defined for n >= 32");
+  switch (pattern) {
+    case TestPattern::kHorizontalBars: return horizontal_bars(n);
+    case TestPattern::kVerticalBars: return vertical_bars(n);
+    case TestPattern::kForwardDiagonal: return diagonal_bars(n, true);
+    case TestPattern::kBackwardDiagonal: return diagonal_bars(n, false);
+    case TestPattern::kCross: return cross(n);
+    case TestPattern::kDisc: return disc(n);
+    case TestPattern::kCircles: return circles(n);
+    case TestPattern::kFourSquares: return four_squares(n);
+    case TestPattern::kDualSpiral: return dual_spiral(n);
+  }
+  HISTCC_REQUIRE(false, "unknown test pattern");
+  return GreyImage{};
+}
+
+GreyImage make_darpa_like(std::uint32_t n, std::uint64_t seed,
+                          std::uint32_t pieces) {
+  HISTCC_REQUIRE(n >= 64, "darpa-like images are defined for n >= 64");
+  util::Rng rng(seed);
+  GreyImage im(n, n, kBg);
+
+  // Lightly textured background: sparse speckle of low grey values, so the
+  // background contributes many tiny components like the benchmark's
+  // textured regions.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      if (rng.next_bool(0.02)) {
+        im(i, j) = static_cast<std::uint8_t>(1 + rng.next_below(31));
+      }
+    }
+  }
+
+  // Overlapping "mobile" pieces: rectangles and ellipses of widely varying
+  // size, each a uniform grey level in 32..255, later pieces painted over
+  // earlier ones (occlusion).
+  for (std::uint32_t piece = 0; piece < pieces; ++piece) {
+    const auto grey = static_cast<std::uint8_t>(32 + rng.next_below(224));
+    const auto ci = static_cast<std::uint32_t>(rng.next_below(n));
+    const auto cj = static_cast<std::uint32_t>(rng.next_below(n));
+    // Size distribution skewed to small pieces with a few large ones.
+    const double scale = rng.next_double();
+    const auto half = static_cast<std::uint32_t>(
+        2 + static_cast<std::uint32_t>(scale * scale * (n / 8.0)));
+    const bool ellipse = rng.next_bool(0.5);
+    const std::uint32_t i0 = ci > half ? ci - half : 0;
+    const std::uint32_t i1 = std::min(ci + half, n - 1);
+    const std::uint32_t j0 = cj > half ? cj - half : 0;
+    const std::uint32_t j1 = std::min(cj + half, n - 1);
+    for (std::uint32_t i = i0; i <= i1; ++i) {
+      for (std::uint32_t j = j0; j <= j1; ++j) {
+        if (ellipse) {
+          const double di = (static_cast<double>(i) - ci) / half;
+          const double dj = (static_cast<double>(j) - cj) / half;
+          if (di * di + dj * dj > 1.0) continue;
+        }
+        im(i, j) = grey;
+      }
+    }
+  }
+  return im;
+}
+
+GreyImage make_percolation(std::uint32_t n, double occupancy,
+                           std::uint64_t seed) {
+  HISTCC_REQUIRE(n >= 1, "image side must be positive");
+  HISTCC_REQUIRE(occupancy >= 0.0 && occupancy <= 1.0,
+                 "occupancy must be a probability");
+  util::Rng rng(seed);
+  GreyImage im(n, n, kBg);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      if (rng.next_bool(occupancy)) im(i, j) = kFg;
+    }
+  }
+  return im;
+}
+
+GreyImage make_ising(std::uint32_t n, double beta, std::uint32_t sweeps,
+                     std::uint64_t seed) {
+  HISTCC_REQUIRE(n >= 2, "lattice side must be at least 2");
+  util::Rng rng(seed);
+  // Spins are 1 and 2 so that 0 stays reserved for background and the
+  // labeler treats both phases as foreground.
+  GreyImage im(n, n, kBg);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      im(i, j) = rng.next_bool(0.5) ? 1 : 2;
+    }
+  }
+  // Metropolis sweeps (free boundary) to introduce spatial correlation.
+  auto spin = [&](std::uint32_t i, std::uint32_t j) -> int {
+    return im(i, j) == 1 ? -1 : 1;
+  };
+  for (std::uint32_t sweep = 0; sweep < sweeps; ++sweep) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      for (std::uint32_t j = 0; j < n; ++j) {
+        int neighbour_sum = 0;
+        if (i > 0) neighbour_sum += spin(i - 1, j);
+        if (i + 1 < n) neighbour_sum += spin(i + 1, j);
+        if (j > 0) neighbour_sum += spin(i, j - 1);
+        if (j + 1 < n) neighbour_sum += spin(i, j + 1);
+        const double delta_e = 2.0 * spin(i, j) * neighbour_sum;
+        if (delta_e <= 0.0 || rng.next_bool(std::exp(-beta * delta_e))) {
+          im(i, j) = im(i, j) == 1 ? 2 : 1;
+        }
+      }
+    }
+  }
+  return im;
+}
+
+GreyImage make_random_grey(std::uint32_t n, std::uint32_t k,
+                           std::uint64_t seed) {
+  HISTCC_REQUIRE(n >= 1, "image side must be positive");
+  HISTCC_REQUIRE(k >= 2 && k <= 256, "grey-level count must be in [2, 256]");
+  util::Rng rng(seed);
+  GreyImage im(n, n);
+  for (auto& px : im.pixels()) {
+    px = static_cast<std::uint8_t>(rng.next_below(k));
+  }
+  return im;
+}
+
+GreyImage make_banded_grey(std::uint32_t n, std::uint32_t k) {
+  HISTCC_REQUIRE(n >= 1, "image side must be positive");
+  HISTCC_REQUIRE(k >= 1 && k <= 256, "grey-level count must be in [1, 256]");
+  GreyImage im(n, n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto grey = static_cast<std::uint8_t>(i % k);
+    for (std::uint32_t j = 0; j < n; ++j) im(i, j) = grey;
+  }
+  return im;
+}
+
+}  // namespace histcc::img

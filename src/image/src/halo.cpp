@@ -1,0 +1,9 @@
+// halo.hpp is header-only (templates); instantiate the common cases once.
+#include "histcc/image/halo.hpp"
+
+namespace histcc::img {
+
+template class HaloExchangerT<std::uint8_t>;
+template class HaloExchangerT<std::uint32_t>;
+
+}  // namespace histcc::img

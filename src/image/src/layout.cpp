@@ -1,0 +1,15 @@
+// layout.hpp is header-only; instantiate the common cases once.
+#include "histcc/image/layout.hpp"
+
+namespace histcc::img {
+
+template void TileLayout::scatter<std::uint8_t>(
+    const Image<std::uint8_t>&, splitc::Spread<std::uint8_t>&) const;
+template void TileLayout::scatter<std::uint32_t>(
+    const Image<std::uint32_t>&, splitc::Spread<std::uint32_t>&) const;
+template Image<std::uint8_t> TileLayout::gather<std::uint8_t>(
+    const splitc::Spread<std::uint8_t>&) const;
+template Image<std::uint32_t> TileLayout::gather<std::uint32_t>(
+    const splitc::Spread<std::uint32_t>&) const;
+
+}  // namespace histcc::img

@@ -1,0 +1,68 @@
+#ifndef HISTCC_MORPH_MORPHOLOGY_HPP
+#define HISTCC_MORPH_MORPHOLOGY_HPP
+
+/// \file morphology.hpp
+/// Binary mathematical morphology on the tile layout.
+///
+/// Erosion / dilation with a 3x3 structuring element are the classic
+/// companions of connected-component labeling in image-processing
+/// pipelines (the DARPA benchmarks' "shrink/expand" entries in Table 2
+/// are exactly repeated erosions/dilations).  The parallel versions are
+/// single-halo stencils over the paper's tile layout: one HaloExchanger
+/// round (Tcomm = tau + 2(q+r) + 4) plus an O(n^2/p) local sweep — a
+/// template for adding further stencil primitives to the library.
+///
+/// Convention: pixels are foreground iff nonzero; outputs are 0/1; pixels
+/// outside the image behave as background (zero padding), so erosion
+/// shrinks shapes touching the image edge.
+
+#include <cstdint>
+
+#include "histcc/image/image.hpp"
+#include "histcc/image/layout.hpp"
+#include "histcc/splitc/machine.hpp"
+#include "histcc/splitc/spread.hpp"
+
+namespace histcc::morph {
+
+/// 3x3 structuring elements.
+enum class Structuring : int {
+  kCross = 4,   ///< centre + N/E/S/W
+  kSquare = 8,  ///< full 3x3 neighbourhood
+};
+
+/// Sequential erosion: out = 1 iff every pixel under the element is
+/// foreground.
+[[nodiscard]] img::GreyImage erode(const img::GreyImage& image,
+                                   Structuring element = Structuring::kSquare);
+
+/// Sequential dilation: out = 1 iff any pixel under the element is
+/// foreground.
+[[nodiscard]] img::GreyImage dilate(const img::GreyImage& image,
+                                    Structuring element = Structuring::kSquare);
+
+/// Opening (erode then dilate): removes specks smaller than the element.
+[[nodiscard]] img::GreyImage open(const img::GreyImage& image,
+                                  Structuring element = Structuring::kSquare);
+
+/// Closing (dilate then erode): fills pinholes smaller than the element.
+[[nodiscard]] img::GreyImage close(const img::GreyImage& image,
+                                   Structuring element = Structuring::kSquare);
+
+/// Parallel erosion over distributed tiles: one halo exchange + local
+/// sweep; `out` receives 0/1 tiles.  Bit-identical to `erode`.
+/// Collective.
+void erode_parallel(splitc::Machine& machine, const img::TileLayout& layout,
+                    splitc::Spread<std::uint8_t>& tiles,
+                    splitc::Spread<std::uint8_t>& out,
+                    Structuring element = Structuring::kSquare);
+
+/// Parallel dilation; bit-identical to `dilate`.  Collective.
+void dilate_parallel(splitc::Machine& machine, const img::TileLayout& layout,
+                     splitc::Spread<std::uint8_t>& tiles,
+                     splitc::Spread<std::uint8_t>& out,
+                     Structuring element = Structuring::kSquare);
+
+}  // namespace histcc::morph
+
+#endif  // HISTCC_MORPH_MORPHOLOGY_HPP

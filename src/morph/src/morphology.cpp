@@ -1,0 +1,119 @@
+#include "histcc/morph/morphology.hpp"
+
+#include <vector>
+
+#include "histcc/image/halo.hpp"
+#include "histcc/util/require.hpp"
+
+namespace histcc::morph {
+namespace {
+
+/// Apply the 3x3 stencil at (i, j) of a padded buffer: `erosion` = all
+/// element pixels foreground, else (dilation) = any foreground.  `stride`
+/// is the padded row length; (i, j) are padded coordinates >= 1.
+template <bool Erosion>
+std::uint8_t stencil_at(const std::uint8_t* padded, std::size_t stride,
+                        std::size_t i, std::size_t j, bool square) {
+  const std::size_t c = i * stride + j;
+  auto fg = [&](std::size_t idx) { return padded[idx] != 0; };
+  bool all = fg(c) && fg(c - stride) && fg(c + stride) && fg(c - 1) &&
+             fg(c + 1);
+  bool any = fg(c) || fg(c - stride) || fg(c + stride) || fg(c - 1) ||
+             fg(c + 1);
+  if (square) {
+    all = all && fg(c - stride - 1) && fg(c - stride + 1) &&
+          fg(c + stride - 1) && fg(c + stride + 1);
+    any = any || fg(c - stride - 1) || fg(c - stride + 1) ||
+          fg(c + stride - 1) || fg(c + stride + 1);
+  }
+  return Erosion ? (all ? 1 : 0) : (any ? 1 : 0);
+}
+
+/// Sequential stencil over a whole image via a zero-padded copy.
+template <bool Erosion>
+img::GreyImage sequential(const img::GreyImage& image, Structuring element) {
+  HISTCC_REQUIRE(!image.empty(), "cannot transform an empty image");
+  const std::uint32_t rows = image.height();
+  const std::uint32_t cols = image.width();
+  const std::size_t stride = cols + 2;
+  std::vector<std::uint8_t> padded((rows + 2) * stride, 0);
+  for (std::uint32_t i = 0; i < rows; ++i) {
+    for (std::uint32_t j = 0; j < cols; ++j) {
+      padded[(i + 1) * stride + (j + 1)] = image(i, j);
+    }
+  }
+  const bool square = element == Structuring::kSquare;
+  img::GreyImage out(rows, cols);
+  for (std::uint32_t i = 0; i < rows; ++i) {
+    for (std::uint32_t j = 0; j < cols; ++j) {
+      out(i, j) = stencil_at<Erosion>(padded.data(), stride, i + 1, j + 1,
+                                      square);
+    }
+  }
+  return out;
+}
+
+/// Parallel stencil: one halo exchange, then the same kernel over the
+/// (q+2) x (r+2) halo buffer.
+template <bool Erosion>
+void parallel(splitc::Machine& machine, const img::TileLayout& layout,
+              splitc::Spread<std::uint8_t>& tiles,
+              splitc::Spread<std::uint8_t>& out, Structuring element) {
+  HISTCC_REQUIRE(tiles.nprocs() == machine.nprocs() &&
+                     tiles.per_proc() >= layout.tile_size(),
+                 "tiles spread does not match layout");
+  HISTCC_REQUIRE(out.nprocs() == machine.nprocs() &&
+                     out.per_proc() >= layout.tile_size(),
+                 "output spread does not match layout");
+  const std::uint32_t q = layout.tile_rows();
+  const std::uint32_t r = layout.tile_cols();
+  const bool square = element == Structuring::kSquare;
+  img::HaloExchanger halos(machine, layout);
+
+  machine.run([&](splitc::Proc& self) {
+    std::vector<std::uint8_t> halo;
+    halos.exchange(self, tiles, halo);
+    const std::size_t stride = halos.halo_cols();
+    auto result = out.local(self);
+    for (std::uint32_t i = 0; i < q; ++i) {
+      for (std::uint32_t j = 0; j < r; ++j) {
+        result[static_cast<std::size_t>(i) * r + j] = stencil_at<Erosion>(
+            halo.data(), stride, i + 1, j + 1, square);
+      }
+    }
+    self.charge_ops(static_cast<std::uint64_t>(square ? 9 : 5) *
+                    layout.tile_size());
+  });
+}
+
+}  // namespace
+
+img::GreyImage erode(const img::GreyImage& image, Structuring element) {
+  return sequential<true>(image, element);
+}
+
+img::GreyImage dilate(const img::GreyImage& image, Structuring element) {
+  return sequential<false>(image, element);
+}
+
+img::GreyImage open(const img::GreyImage& image, Structuring element) {
+  return dilate(erode(image, element), element);
+}
+
+img::GreyImage close(const img::GreyImage& image, Structuring element) {
+  return erode(dilate(image, element), element);
+}
+
+void erode_parallel(splitc::Machine& machine, const img::TileLayout& layout,
+                    splitc::Spread<std::uint8_t>& tiles,
+                    splitc::Spread<std::uint8_t>& out, Structuring element) {
+  parallel<true>(machine, layout, tiles, out, element);
+}
+
+void dilate_parallel(splitc::Machine& machine, const img::TileLayout& layout,
+                     splitc::Spread<std::uint8_t>& tiles,
+                     splitc::Spread<std::uint8_t>& out, Structuring element) {
+  parallel<false>(machine, layout, tiles, out, element);
+}
+
+}  // namespace histcc::morph

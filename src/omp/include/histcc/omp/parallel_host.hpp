@@ -1,0 +1,52 @@
+#ifndef HISTCC_OMP_PARALLEL_HOST_HPP
+#define HISTCC_OMP_PARALLEL_HOST_HPP
+
+/// \file parallel_host.hpp
+/// Shared-memory (OpenMP) implementations of the paper's two primitives.
+///
+/// The splitc runtime exists to *reproduce* the paper's distributed-memory
+/// execution and cost model; these functions exist to be *used*: on a
+/// modern multicore host, histogramming and connected components are
+/// shared-memory problems, and the natural implementations below are what
+/// a downstream user should call for raw wall-clock speed.  They are also
+/// the harness's modern comparator: bench_host compares them against the
+/// virtual machine running the paper's algorithms on the same images.
+///
+/// Both produce bit-identical results to the sequential references (the
+/// canonical labeling / exact counts), so the test suite cross-checks
+/// them against every other implementation.  They degrade gracefully to
+/// serial execution when built without OpenMP.
+
+#include <cstdint>
+#include <vector>
+
+#include "histcc/cc_seq/common.hpp"
+#include "histcc/image/image.hpp"
+
+namespace histcc::omp {
+
+/// Number of threads the OpenMP backend will use (1 when built serially).
+[[nodiscard]] unsigned backend_threads() noexcept;
+
+/// Histogram with per-thread tallies + reduction.  Same contract as
+/// hist::histogram_seq (k a power of two in [2, 256], pixels < k).
+[[nodiscard]] std::vector<std::uint32_t> histogram_omp(
+    const img::GreyImage& image, std::uint32_t k);
+
+/// Connected components by strip-parallel union-find:
+///   1. the image is cut into horizontal strips, one per thread; each
+///      thread runs the two-pass union-find first pass within its strip
+///      (its unions touch only its own rows, so no synchronization);
+///   2. a short serial pass unions each strip's first row with the row
+///      above it (the strip boundaries);
+///   3. a parallel read-only resolve assigns every pixel its root label.
+/// Union-by-minimum keeps the canonical labeling, so the output equals
+/// ccseq::label_components_* exactly.
+[[nodiscard]] img::LabelImage connected_components_omp(
+    const img::GreyImage& image,
+    ccseq::Connectivity conn = ccseq::Connectivity::kEight,
+    ccseq::ColourRule rule = ccseq::ColourRule::kBinary);
+
+}  // namespace histcc::omp
+
+#endif  // HISTCC_OMP_PARALLEL_HOST_HPP

@@ -1,0 +1,153 @@
+#include "histcc/omp/parallel_host.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include <algorithm>
+#include <vector>
+
+#include "histcc/util/require.hpp"
+
+namespace histcc::omp {
+namespace {
+
+/// Union-by-minimum disjoint sets over pixel indices, as in
+/// ccseq::DisjointSets but with an additional read-only find for the
+/// concurrent resolve pass.
+class Forest {
+ public:
+  explicit Forest(std::size_t n) : parent_(n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      parent_[i] = static_cast<std::uint32_t>(i);
+    }
+  }
+
+  std::uint32_t find(std::uint32_t x) noexcept {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Root lookup without path mutation — safe to call concurrently with
+  /// other find_const calls (but not with unite/find).
+  [[nodiscard]] std::uint32_t find_const(std::uint32_t x) const noexcept {
+    while (parent_[x] != x) x = parent_[x];
+    return x;
+  }
+
+  void unite(std::uint32_t a, std::uint32_t b) noexcept {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (a < b) {
+      parent_[b] = a;
+    } else {
+      parent_[a] = b;
+    }
+  }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+};
+
+/// Run the raster-scan union pass over rows [row_begin, row_end), linking
+/// each foreground pixel with its already-scanned neighbours.  When
+/// `skip_up` is true the first row links only westwards (its upward
+/// neighbours belong to another strip and are handled by the serial
+/// boundary pass).
+void scan_rows(const img::GreyImage& image, Forest& forest,
+               std::uint32_t row_begin, std::uint32_t row_end, bool skip_up,
+               ccseq::Connectivity conn, ccseq::ColourRule rule) {
+  const std::uint32_t cols = image.width();
+  const auto px = image.pixels();
+  const bool eight = conn == ccseq::Connectivity::kEight;
+  const bool same_colour = rule == ccseq::ColourRule::kSameColour;
+
+  for (std::uint32_t i = row_begin; i < row_end; ++i) {
+    const bool link_up = i > 0 && !(skip_up && i == row_begin);
+    for (std::uint32_t j = 0; j < cols; ++j) {
+      const std::size_t idx = static_cast<std::size_t>(i) * cols + j;
+      const std::uint8_t colour = px[idx];
+      if (colour == 0) continue;
+      auto try_union = [&](std::size_t nidx) {
+        if (px[nidx] == 0) return;
+        if (same_colour && px[nidx] != colour) return;
+        forest.unite(static_cast<std::uint32_t>(idx),
+                     static_cast<std::uint32_t>(nidx));
+      };
+      if (j > 0) try_union(idx - 1);
+      if (link_up) {
+        try_union(idx - cols);
+        if (eight) {
+          if (j > 0) try_union(idx - cols - 1);
+          if (j + 1 < cols) try_union(idx - cols + 1);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+img::LabelImage connected_components_omp(const img::GreyImage& image,
+                                         ccseq::Connectivity conn,
+                                         ccseq::ColourRule rule) {
+  const std::uint32_t rows = image.height();
+  const std::uint32_t cols = image.width();
+  img::LabelImage labels(rows, cols);
+  if (image.empty()) return labels;
+
+  Forest forest(static_cast<std::size_t>(rows) * cols);
+
+#ifdef _OPENMP
+  const unsigned threads =
+      std::min<unsigned>(backend_threads(), std::max(1u, rows / 2));
+  std::vector<std::uint32_t> strip_begin(threads + 1);
+  for (unsigned t = 0; t <= threads; ++t) {
+    strip_begin[t] = static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(rows) * t / threads);
+  }
+
+  // Pass 1 (parallel): each thread's unions touch only pixel indices in
+  // its own rows, because the strip's first row links westwards only.
+#pragma omp parallel num_threads(threads)
+  {
+    const auto t = static_cast<unsigned>(omp_get_thread_num());
+    scan_rows(image, forest, strip_begin[t], strip_begin[t + 1],
+              /*skip_up=*/true, conn, rule);
+  }
+
+  // Pass 2 (serial): stitch the strip boundaries — re-scan just each
+  // strip's first row with upward links enabled.
+  for (unsigned t = 1; t < threads; ++t) {
+    scan_rows(image, forest, strip_begin[t], strip_begin[t] + 1,
+              /*skip_up=*/false, conn, rule);
+  }
+
+  // Pass 3 (parallel, read-only): resolve every pixel to its root.
+  const auto px = image.pixels();
+  auto out = labels.pixels();
+#pragma omp parallel for schedule(static) num_threads(threads)
+  for (std::int64_t idx = 0; idx < static_cast<std::int64_t>(px.size());
+       ++idx) {
+    const auto i = static_cast<std::size_t>(idx);
+    out[i] = px[i] == 0
+                 ? ccseq::kBackgroundLabel
+                 : forest.find_const(static_cast<std::uint32_t>(i)) + 1;
+  }
+#else
+  scan_rows(image, forest, 0, rows, /*skip_up=*/false, conn, rule);
+  const auto px = image.pixels();
+  auto out = labels.pixels();
+  for (std::size_t idx = 0; idx < px.size(); ++idx) {
+    out[idx] = px[idx] == 0 ? ccseq::kBackgroundLabel
+                            : forest.find(static_cast<std::uint32_t>(idx)) + 1;
+  }
+#endif
+  return labels;
+}
+
+}  // namespace histcc::omp

@@ -1,0 +1,53 @@
+#include "histcc/omp/parallel_host.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "histcc/util/math.hpp"
+#include "histcc/util/require.hpp"
+
+namespace histcc::omp {
+
+unsigned backend_threads() noexcept {
+#ifdef _OPENMP
+  return static_cast<unsigned>(omp_get_max_threads());
+#else
+  return 1;
+#endif
+}
+
+std::vector<std::uint32_t> histogram_omp(const img::GreyImage& image,
+                                         std::uint32_t k) {
+  HISTCC_REQUIRE(k >= 2 && k <= 256 && util::is_pow2(k),
+                 "grey-level count must be a power of two in [2, 256]");
+  const auto px = image.pixels();
+  // Host-side precondition check up front so the parallel loop is clean.
+  for (const auto value : px) {
+    HISTCC_REQUIRE(value < k, "pixel value exceeds grey-level count");
+  }
+
+  std::vector<std::uint32_t> counts(k, 0);
+#ifdef _OPENMP
+  const auto threads = backend_threads();
+  std::vector<std::vector<std::uint32_t>> partial(
+      threads, std::vector<std::uint32_t>(k, 0));
+#pragma omp parallel num_threads(threads)
+  {
+    auto& mine = partial[static_cast<std::size_t>(omp_get_thread_num())];
+#pragma omp for schedule(static)
+    for (std::int64_t idx = 0; idx < static_cast<std::int64_t>(px.size());
+         ++idx) {
+      ++mine[px[static_cast<std::size_t>(idx)]];
+    }
+  }
+  for (const auto& mine : partial) {
+    for (std::uint32_t g = 0; g < k; ++g) counts[g] += mine[g];
+  }
+#else
+  for (const auto value : px) ++counts[value];
+#endif
+  return counts;
+}
+
+}  // namespace histcc::omp

@@ -1,0 +1,18 @@
+#include "histcc/sortutil/radix.hpp"
+
+namespace histcc::sortutil {
+
+void radix_sort(std::span<std::uint32_t> keys) {
+  std::vector<std::uint32_t> v(keys.begin(), keys.end());
+  radix_sort_by(v, [](std::uint32_t k) { return k; });
+  std::copy(v.begin(), v.end(), keys.begin());
+}
+
+void hybrid_sort(std::span<std::uint32_t> keys, std::size_t threshold) {
+  std::vector<std::uint32_t> v(keys.begin(), keys.end());
+  hybrid_sort_by(
+      v, [](std::uint32_t k) { return k; }, threshold);
+  std::copy(v.begin(), v.end(), keys.begin());
+}
+
+}  // namespace histcc::sortutil

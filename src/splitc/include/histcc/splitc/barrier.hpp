@@ -1,0 +1,90 @@
+#ifndef HISTCC_SPLITC_BARRIER_HPP
+#define HISTCC_SPLITC_BARRIER_HPP
+
+/// \file barrier.hpp
+/// Reusable sense-reversing barrier for the virtual processors.
+///
+/// We run up to 128 virtual processors on a host with far fewer cores, so a
+/// spin barrier would livelock the scheduler; this barrier blocks on a
+/// condition variable.  Sense reversal makes it safely reusable across the
+/// many consecutive barrier episodes the merge algorithm performs.
+///
+/// The barrier is abortable: if one virtual processor throws, the runtime
+/// calls `abort_all()` so peers blocked here unwind (with BarrierAborted)
+/// instead of deadlocking; `reset()` rearms it for the next SPMD program.
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+
+namespace histcc::splitc {
+
+/// Thrown out of arrive_and_wait() on the non-faulting processors when a
+/// peer aborts the SPMD program.  The runtime swallows it and reports the
+/// original error.
+class BarrierAborted : public std::exception {
+ public:
+  [[nodiscard]] const char* what() const noexcept override {
+    return "histcc: SPMD barrier aborted because a peer processor failed";
+  }
+};
+
+/// Blocking, reusable, abortable barrier for a fixed number of
+/// participants.
+class Barrier {
+ public:
+  explicit Barrier(std::uint32_t participants) noexcept
+      : participants_(participants) {}
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// Block until all participants have arrived, or throw BarrierAborted if
+  /// a peer called abort_all().
+  void arrive_and_wait() {
+    std::unique_lock lock(mutex_);
+    if (aborted_) throw BarrierAborted{};
+    const bool my_sense = sense_;
+    if (++waiting_ == participants_) {
+      waiting_ = 0;
+      sense_ = !sense_;
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lock, [&] { return sense_ != my_sense || aborted_; });
+    if (aborted_ && sense_ == my_sense) throw BarrierAborted{};
+  }
+
+  /// Release every blocked participant with BarrierAborted and make all
+  /// future arrivals fail until reset().
+  void abort_all() {
+    std::scoped_lock lock(mutex_);
+    aborted_ = true;
+    cv_.notify_all();
+  }
+
+  /// Rearm after an abort; only call when no participant is inside.
+  void reset() {
+    std::scoped_lock lock(mutex_);
+    aborted_ = false;
+    waiting_ = 0;
+    sense_ = false;
+  }
+
+  [[nodiscard]] std::uint32_t participants() const noexcept {
+    return participants_;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::uint32_t participants_;
+  std::uint32_t waiting_ = 0;
+  bool sense_ = false;
+  bool aborted_ = false;
+};
+
+}  // namespace histcc::splitc
+
+#endif  // HISTCC_SPLITC_BARRIER_HPP

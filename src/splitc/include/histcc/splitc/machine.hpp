@@ -1,0 +1,173 @@
+#ifndef HISTCC_SPLITC_MACHINE_HPP
+#define HISTCC_SPLITC_MACHINE_HPP
+
+/// \file machine.hpp
+/// The SPMD execution substrate: a virtual distributed-memory machine.
+///
+/// The paper's algorithms are written in Split-C, an SPMD dialect of C with
+/// a global address space over distributed local memories.  `Machine`
+/// reproduces that programming model on a single host: it runs `p` virtual
+/// processors as OS threads, gives each a `Proc` handle carrying its rank,
+/// logical grid position (Section 3 of the paper), barrier, and a BDM
+/// communication ledger.  Remote data is reached through `Spread` arrays
+/// (spread.hpp), whose split-phase transfers mirror Split-C's `:=` /
+/// `sync()` pair.
+///
+/// Correctness never depends on the host core count: with p virtual
+/// processors on c < p cores the algorithms execute identically, only
+/// slower in wall-clock terms.  The benchmark harness therefore reports
+/// modeled BDM time (stats + MachineProfile) for the paper-shape figures
+/// and wall-clock time only for host-scale runs.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "histcc/splitc/barrier.hpp"
+#include "histcc/splitc/stats.hpp"
+#include "histcc/util/math.hpp"
+
+namespace histcc::splitc {
+
+class Machine;
+
+/// Per-processor handle passed to the SPMD program.  One `Proc` exists per
+/// virtual processor for the duration of `Machine::run`; all its methods
+/// are called only by that processor's thread.
+class Proc {
+ public:
+  /// My processor number, 0..p-1 (row-major in the logical grid).
+  [[nodiscard]] std::uint32_t rank() const noexcept { return rank_; }
+
+  /// Total number of processors.
+  [[nodiscard]] std::uint32_t nprocs() const noexcept { return nprocs_; }
+
+  /// My row I in the v x w logical processor grid.
+  [[nodiscard]] std::uint32_t grid_row() const noexcept {
+    return rank_ / grid_.cols;
+  }
+
+  /// My column J in the v x w logical processor grid.
+  [[nodiscard]] std::uint32_t grid_col() const noexcept {
+    return rank_ % grid_.cols;
+  }
+
+  /// Shape of the logical processor grid (v rows, w cols).
+  [[nodiscard]] util::GridShape grid() const noexcept { return grid_; }
+
+  /// Split-C barrier(): global synchronization of all processors.  Also
+  /// completes any outstanding prefetch batch (the algorithms in the paper
+  /// always sync before a barrier; folding sync into barrier keeps the
+  /// ledger exact even if a caller forgets).
+  void barrier();
+
+  /// Split-C sync(): stall until all outstanding split-phase transfers have
+  /// completed.  In this runtime the data is already in place (transfers
+  /// copy eagerly); sync() closes the current pipelined batch in the BDM
+  /// ledger, charging tau + l for the l words prefetched since the last
+  /// sync.
+  void sync() noexcept;
+
+  /// My communication ledger.
+  [[nodiscard]] CommStats& stats() noexcept { return *stats_; }
+  [[nodiscard]] const CommStats& stats() const noexcept { return *stats_; }
+
+  /// Charge `n` local RAM operations to the Tcomp meter.  Algorithms call
+  /// this around their local phases so modeled Tcomp can be reported next
+  /// to modeled Tcomm.
+  void charge_ops(std::uint64_t n) noexcept { stats_->local_ops += n; }
+
+  /// Record a remote transfer of `words` 4-byte words (one message) from
+  /// processor `source`.  Used by Spread; public so that additional
+  /// distributed containers can participate in the same ledger.  The words
+  /// are charged to the caller's movement ledger and to the source's
+  /// *served* counter — the BDM model allows no processor to send or
+  /// receive more than one word at a time, so a processor serving many
+  /// peers is a congestion point even if it initiates nothing (this is
+  /// what eq. (9)'s distribution scheme relieves).
+  void charge_transfer(std::uint32_t source, std::uint64_t words) noexcept {
+    stats_->messages += 1;
+    stats_->words += words;
+    pending_words_ += words;
+    served_[source].fetch_add(words, std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Machine;
+  Proc(std::uint32_t rank, std::uint32_t nprocs, util::GridShape grid,
+       Barrier* barrier, CommStats* stats,
+       std::atomic<std::uint64_t>* served) noexcept
+      : rank_(rank),
+        nprocs_(nprocs),
+        grid_(grid),
+        barrier_(barrier),
+        stats_(stats),
+        served_(served) {}
+
+  std::uint32_t rank_;
+  std::uint32_t nprocs_;
+  util::GridShape grid_;
+  Barrier* barrier_;
+  CommStats* stats_;
+  std::atomic<std::uint64_t>* served_;
+  std::uint64_t pending_words_ = 0;
+};
+
+/// A virtual distributed-memory machine with p processors (p a power of
+/// two, as the paper assumes).  Construct once, `run` any number of SPMD
+/// programs on it.
+class Machine {
+ public:
+  /// \param nprocs number of virtual processors; must be a power of two.
+  explicit Machine(std::uint32_t nprocs);
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  [[nodiscard]] std::uint32_t nprocs() const noexcept { return nprocs_; }
+
+  /// Logical processor grid shape (Section 3): v = 2^floor(d/2) rows,
+  /// w = 2^ceil(d/2) columns for p = 2^d.
+  [[nodiscard]] util::GridShape grid() const noexcept { return grid_; }
+
+  /// Execute `program` in SPMD style: p threads each call program(proc)
+  /// with their own Proc.  Blocks until all processors finish.  If any
+  /// processor throws, the first exception is rethrown here after all
+  /// threads have been joined.  Not reentrant.
+  void run(const std::function<void(Proc&)>& program);
+
+  /// Communication ledger of processor `rank` from the last run().
+  [[nodiscard]] const CommStats& stats(std::uint32_t rank) const;
+
+  /// Elementwise sum of all processors' ledgers.
+  [[nodiscard]] CommStats total_stats() const noexcept;
+
+  /// Elementwise max of all processors' ledgers — the BDM complexity of the
+  /// program, since the model charges the maximum over processors.
+  [[nodiscard]] CommStats max_stats() const noexcept;
+
+  /// Words processor `rank` *served* to remote peers in the last run —
+  /// the per-port outbound load eq. (9) balances.
+  [[nodiscard]] std::uint64_t served_words(std::uint32_t rank) const;
+
+  /// Maximum over processors of (words moved + words served): the BDM
+  /// port-congestion bound of the last run.
+  [[nodiscard]] std::uint64_t max_port_words() const noexcept;
+
+  /// Zero all ledgers (run() also does this on entry).
+  void reset_stats() noexcept;
+
+ private:
+  std::uint32_t nprocs_;
+  util::GridShape grid_;
+  Barrier barrier_;
+  std::vector<CommStats> stats_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> served_;
+  bool running_ = false;
+};
+
+}  // namespace histcc::splitc
+
+#endif  // HISTCC_SPLITC_MACHINE_HPP

@@ -1,0 +1,70 @@
+#ifndef HISTCC_SPLITC_PROFILE_HPP
+#define HISTCC_SPLITC_PROFILE_HPP
+
+/// \file profile.hpp
+/// BDM machine profiles.
+///
+/// The paper evaluates on five machines (TMC CM-5, IBM SP-1, IBM SP-2,
+/// Meiko CS-2, Intel Paragon).  We do not have that hardware; instead every
+/// remote access performed through the splitc runtime is metered, and a
+/// MachineProfile converts the meter readings into *modeled* execution time
+/// under the Block Distributed Memory model: a batch of l prefetched words
+/// costs tau + l word-times (JaJa & Ryu, 1994).  The constants below are the
+/// per-processor user-payload bandwidths and message latencies the paper and
+/// its citations report, so the modeled curves reproduce the shape of the
+/// paper's per-machine figures.
+
+#include <cstdint>
+#include <string_view>
+
+namespace histcc::splitc {
+
+/// Cost-model constants describing one of the paper's target machines.
+struct MachineProfile {
+  std::string_view name;     ///< machine name as used in the paper's figures
+  double latency_us;         ///< message startup latency tau, microseconds
+  double bandwidth_MBps;     ///< attainable per-processor bandwidth, 1e6 B/s
+  double peak_MBps;          ///< vendor peak per-processor bandwidth, 1e6 B/s
+  double cpu_ns_per_op;      ///< modeled cost of one local RAM operation
+
+  /// Seconds to move `words` 4-byte words in `batches` pipelined batches.
+  [[nodiscard]] double comm_seconds(std::uint64_t batches,
+                                    std::uint64_t words) const noexcept {
+    const double word_bytes = 4.0;
+    return static_cast<double>(batches) * latency_us * 1e-6 +
+           static_cast<double>(words) * word_bytes / (bandwidth_MBps * 1e6);
+  }
+
+  /// Seconds to execute `ops` local operations.
+  [[nodiscard]] double comp_seconds(std::uint64_t ops) const noexcept {
+    return static_cast<double>(ops) * cpu_ns_per_op * 1e-9;
+  }
+};
+
+/// TMC CM-5: 12 MB/s user-payload per processor (Leiserson et al.), the
+/// paper measures 7.62 MB/s through Split-C.
+[[nodiscard]] MachineProfile cm5() noexcept;
+
+/// IBM SP-1 with MPL over EUIH.
+[[nodiscard]] MachineProfile sp1() noexcept;
+
+/// IBM SP-2 wide nodes: 40 MB/s peak node-to-node, paper measures >24.8.
+[[nodiscard]] MachineProfile sp2() noexcept;
+
+/// Meiko CS-2: 50 MB/s peak, paper measures >10.7 (unoptimized Elan port).
+[[nodiscard]] MachineProfile cs2() noexcept;
+
+/// Intel Paragon with PAM: 175 MB/s hardware peak, paper measures >88.6.
+[[nodiscard]] MachineProfile paragon() noexcept;
+
+/// Profile of the host this library actually runs on (used when reporting
+/// wall-clock rather than modeled results).
+[[nodiscard]] MachineProfile host() noexcept;
+
+/// Look a profile up by its figure name ("CM-5", "SP-1", "SP-2", "CS-2",
+/// "Paragon", "host"); returns host() for unknown names.
+[[nodiscard]] MachineProfile profile_by_name(std::string_view name) noexcept;
+
+}  // namespace histcc::splitc
+
+#endif  // HISTCC_SPLITC_PROFILE_HPP

@@ -1,0 +1,193 @@
+#ifndef HISTCC_SPLITC_SPREAD_HPP
+#define HISTCC_SPLITC_SPREAD_HPP
+
+/// \file spread.hpp
+/// Distributed (spread) arrays — the global address space of the runtime.
+///
+/// A `Spread<T>` is the analogue of a Split-C spread array `T A[p]::[m]`:
+/// each of the p processors owns a block of `per_proc` elements, and any
+/// processor can read or write any block through split-phase transfers.
+/// `prefetch` mirrors the Split-C `:=` assignment: it initiates a bulk get
+/// and is charged to the caller's BDM ledger; completion is guaranteed
+/// after `Proc::sync()`.  In this runtime the copy happens eagerly, which
+/// is race-free under the algorithms' barrier discipline (a transfer only
+/// reads data its owner wrote before the last barrier, exactly as the
+/// paper's algorithms are structured).
+///
+/// `SpreadVec<T>` is the dynamically-sized variant used for the merge
+/// phase's change arrays, whose sizes are data-dependent: the owner
+/// resizes its block, peers read it after the next barrier.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "histcc/splitc/machine.hpp"
+#include "histcc/util/require.hpp"
+
+namespace histcc::splitc {
+
+namespace detail {
+/// BDM word accounting: a "word" is 4 bytes; an element of type T counts as
+/// ceil(sizeof(T)/4) words.
+template <typename T>
+constexpr std::uint64_t words_per_element() noexcept {
+  return (sizeof(T) + 3) / 4;
+}
+}  // namespace detail
+
+/// Fixed-size distributed array: `per_proc` elements owned by each of the
+/// machine's processors.  Construct on the host (outside `Machine::run`),
+/// use from inside the SPMD program.
+template <typename T>
+class Spread {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "Spread elements cross the (virtual) network; they must be "
+                "trivially copyable");
+
+ public:
+  /// Allocate a block of `per_proc` elements on every processor,
+  /// value-initialized.
+  Spread(Machine& machine, std::size_t per_proc)
+      : nprocs_(machine.nprocs()), per_proc_(per_proc), blocks_(nprocs_) {
+    for (auto& b : blocks_) b.assign(per_proc_, T{});
+  }
+
+  [[nodiscard]] std::size_t per_proc() const noexcept { return per_proc_; }
+  [[nodiscard]] std::uint32_t nprocs() const noexcept { return nprocs_; }
+
+  /// The calling processor's own block; local access, never metered.
+  [[nodiscard]] std::span<T> local(const Proc& self) noexcept {
+    return std::span<T>(blocks_[self.rank()]);
+  }
+  [[nodiscard]] std::span<const T> local(const Proc& self) const noexcept {
+    return std::span<const T>(blocks_[self.rank()]);
+  }
+
+  /// Host-side access to processor `rank`'s block (for initialization and
+  /// verification outside the SPMD region).
+  [[nodiscard]] std::span<T> block(std::uint32_t rank) {
+    HISTCC_REQUIRE(rank < nprocs_, "rank out of range");
+    return std::span<T>(blocks_[rank]);
+  }
+  [[nodiscard]] std::span<const T> block(std::uint32_t rank) const {
+    HISTCC_REQUIRE(rank < nprocs_, "rank out of range");
+    return std::span<const T>(blocks_[rank]);
+  }
+
+  /// Split-phase bulk get (Split-C `dst := A[src_rank][src_off .. +len]`).
+  /// Copies `len` elements from the owner's block into `dst`, charging one
+  /// message of len words to the caller's ledger unless the source is
+  /// local.  Completion is guaranteed after self.sync().
+  void prefetch(Proc& self, std::span<T> dst, std::uint32_t src_rank,
+                std::size_t src_off, std::size_t len) {
+    HISTCC_REQUIRE(src_rank < nprocs_, "source rank out of range");
+    HISTCC_REQUIRE(src_off + len <= per_proc_, "source range out of bounds");
+    HISTCC_REQUIRE(dst.size() >= len, "destination too small");
+    if (len == 0) return;
+    std::memcpy(dst.data(), blocks_[src_rank].data() + src_off,
+                len * sizeof(T));
+    if (src_rank != self.rank()) {
+      self.charge_transfer(src_rank, len * detail::words_per_element<T>());
+    }
+  }
+
+  /// Split-phase bulk put: copy `len` elements from `src` into the block of
+  /// `dst_rank` at `dst_off`.  The caller must own the destination range in
+  /// the sense of the algorithms' barrier discipline (no concurrent writer).
+  void put_block(Proc& self, std::uint32_t dst_rank, std::size_t dst_off,
+                 std::span<const T> src) {
+    HISTCC_REQUIRE(dst_rank < nprocs_, "destination rank out of range");
+    HISTCC_REQUIRE(dst_off + src.size() <= per_proc_,
+                   "destination range out of bounds");
+    if (src.empty()) return;
+    std::memcpy(blocks_[dst_rank].data() + dst_off, src.data(),
+                src.size() * sizeof(T));
+    if (dst_rank != self.rank()) {
+      self.charge_transfer(dst_rank, src.size() * detail::words_per_element<T>());
+    }
+  }
+
+  /// Single-element remote read (costs tau + 1 unless batched).
+  [[nodiscard]] T get(Proc& self, std::uint32_t rank, std::size_t off) {
+    HISTCC_REQUIRE(rank < nprocs_, "rank out of range");
+    HISTCC_REQUIRE(off < per_proc_, "offset out of bounds");
+    if (rank != self.rank()) {
+      self.charge_transfer(rank, detail::words_per_element<T>());
+    }
+    return blocks_[rank][off];
+  }
+
+  /// Single-element remote write.
+  void put(Proc& self, std::uint32_t rank, std::size_t off, T value) {
+    HISTCC_REQUIRE(rank < nprocs_, "rank out of range");
+    HISTCC_REQUIRE(off < per_proc_, "offset out of bounds");
+    if (rank != self.rank()) {
+      self.charge_transfer(rank, detail::words_per_element<T>());
+    }
+    blocks_[rank][off] = value;
+  }
+
+ private:
+  std::uint32_t nprocs_;
+  std::size_t per_proc_;
+  std::vector<std::vector<T>> blocks_;
+};
+
+/// Dynamically-sized distributed array: each processor owns a vector it may
+/// resize.  Peers may only read a block that its owner last resized before
+/// a barrier both have crossed (the usual SPMD publication discipline).
+template <typename T>
+class SpreadVec {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  explicit SpreadVec(Machine& machine) : blocks_(machine.nprocs()) {}
+
+  [[nodiscard]] std::uint32_t nprocs() const noexcept {
+    return static_cast<std::uint32_t>(blocks_.size());
+  }
+
+  /// The calling processor's own vector (resizable).
+  [[nodiscard]] std::vector<T>& local(const Proc& self) noexcept {
+    return blocks_[self.rank()];
+  }
+
+  /// Host-side access.
+  [[nodiscard]] std::vector<T>& block(std::uint32_t rank) {
+    HISTCC_REQUIRE(rank < nprocs(), "rank out of range");
+    return blocks_[rank];
+  }
+
+  /// Remote size query (one word).
+  [[nodiscard]] std::size_t size_of(Proc& self, std::uint32_t rank) {
+    HISTCC_REQUIRE(rank < nprocs(), "rank out of range");
+    if (rank != self.rank()) self.charge_transfer(rank, 1);
+    return blocks_[rank].size();
+  }
+
+  /// Split-phase bulk get of [src_off, src_off+len) from `rank`'s block.
+  void prefetch(Proc& self, std::span<T> dst, std::uint32_t src_rank,
+                std::size_t src_off, std::size_t len) {
+    HISTCC_REQUIRE(src_rank < nprocs(), "source rank out of range");
+    HISTCC_REQUIRE(src_off + len <= blocks_[src_rank].size(),
+                   "source range out of bounds");
+    HISTCC_REQUIRE(dst.size() >= len, "destination too small");
+    if (len == 0) return;
+    std::memcpy(dst.data(), blocks_[src_rank].data() + src_off,
+                len * sizeof(T));
+    if (src_rank != self.rank()) {
+      self.charge_transfer(src_rank, len * detail::words_per_element<T>());
+    }
+  }
+
+ private:
+  std::vector<std::vector<T>> blocks_;
+};
+
+}  // namespace histcc::splitc
+
+#endif  // HISTCC_SPLITC_SPREAD_HPP

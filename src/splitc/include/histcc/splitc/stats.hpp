@@ -1,0 +1,68 @@
+#ifndef HISTCC_SPLITC_STATS_HPP
+#define HISTCC_SPLITC_STATS_HPP
+
+/// \file stats.hpp
+/// Per-processor communication ledger for the BDM cost model.
+///
+/// Every remote access issued through the splitc runtime is recorded here.
+/// Under the BDM model a single remote access costs tau + 1 and a pipelined
+/// batch of l prefetched words issued between two sync() points costs
+/// tau + l; we therefore record both the raw word count and the number of
+/// sync-delimited batches, and a MachineProfile turns the pair into modeled
+/// communication time.
+
+#include <cstdint>
+
+#include "histcc/splitc/profile.hpp"
+
+namespace histcc::splitc {
+
+/// Communication ledger for one virtual processor (or an aggregate).
+struct CommStats {
+  std::uint64_t messages = 0;   ///< prefetch / get / put initiations
+  std::uint64_t words = 0;      ///< remote 4-byte words moved
+  std::uint64_t batches = 0;    ///< sync-delimited pipelined batches
+  std::uint64_t syncs = 0;      ///< sync() calls (incl. empty ones)
+  std::uint64_t barriers = 0;   ///< barrier() calls
+  std::uint64_t local_ops = 0;  ///< optional Tcomp meter (charge_ops)
+
+  /// Elementwise sum; used to aggregate across processors.
+  CommStats& operator+=(const CommStats& o) noexcept {
+    messages += o.messages;
+    words += o.words;
+    batches += o.batches;
+    syncs += o.syncs;
+    barriers += o.barriers;
+    local_ops += o.local_ops;
+    return *this;
+  }
+
+  /// Elementwise max; the BDM complexity of an SPMD phase is the maximum
+  /// over processors, so figures use this aggregate.
+  void max_with(const CommStats& o) noexcept {
+    if (o.messages > messages) messages = o.messages;
+    if (o.words > words) words = o.words;
+    if (o.batches > batches) batches = o.batches;
+    if (o.syncs > syncs) syncs = o.syncs;
+    if (o.barriers > barriers) barriers = o.barriers;
+    if (o.local_ops > local_ops) local_ops = o.local_ops;
+  }
+
+  /// Modeled Tcomm in seconds under the given machine profile.  Barriers are
+  /// charged one latency each (the paper's (log p)*tau terms come out of the
+  /// explicit barrier structure of the algorithms).
+  [[nodiscard]] double modeled_comm_seconds(
+      const MachineProfile& m) const noexcept {
+    return m.comm_seconds(batches + barriers, words);
+  }
+
+  /// Modeled Tcomp in seconds under the given machine profile.
+  [[nodiscard]] double modeled_comp_seconds(
+      const MachineProfile& m) const noexcept {
+    return m.comp_seconds(local_ops);
+  }
+};
+
+}  // namespace histcc::splitc
+
+#endif  // HISTCC_SPLITC_STATS_HPP

@@ -1,0 +1,8 @@
+// barrier.hpp is header-only; compiled once here for ODR hygiene.
+#include "histcc/splitc/barrier.hpp"
+
+namespace histcc::splitc {
+
+static_assert(sizeof(Barrier) > 0);
+
+}  // namespace histcc::splitc

@@ -1,0 +1,122 @@
+#include "histcc/splitc/machine.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "histcc/util/require.hpp"
+
+namespace histcc::splitc {
+
+void Proc::sync() noexcept {
+  stats_->syncs += 1;
+  if (pending_words_ > 0) {
+    stats_->batches += 1;
+    pending_words_ = 0;
+  }
+}
+
+void Proc::barrier() {
+  sync();
+  stats_->barriers += 1;
+  barrier_->arrive_and_wait();
+}
+
+Machine::Machine(std::uint32_t nprocs)
+    : nprocs_(nprocs),
+      grid_(util::GridShape{1, 1}),
+      barrier_(nprocs),
+      stats_(nprocs),
+      served_(std::make_unique<std::atomic<std::uint64_t>[]>(nprocs)) {
+  HISTCC_REQUIRE(nprocs >= 1 && util::is_pow2(nprocs),
+                 "processor count must be a power of two");
+  grid_ = util::grid_shape(nprocs);
+  reset_stats();
+}
+
+void Machine::run(const std::function<void(Proc&)>& program) {
+  HISTCC_REQUIRE(static_cast<bool>(program), "program must be callable");
+  HISTCC_REQUIRE(!running_, "Machine::run is not reentrant");
+  running_ = true;
+  struct RunningGuard {
+    bool* flag;
+    ~RunningGuard() { *flag = false; }
+  } guard{&running_};
+  reset_stats();
+  barrier_.reset();
+
+  if (nprocs_ == 1) {
+    // Degenerate single-processor machine: run inline, no threads.
+    Proc proc(0, 1, grid_, &barrier_, &stats_[0], served_.get());
+    program(proc);
+    return;
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(nprocs_);
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  for (std::uint32_t rank = 0; rank < nprocs_; ++rank) {
+    threads.emplace_back([&, rank] {
+      Proc proc(rank, nprocs_, grid_, &barrier_, &stats_[rank],
+                served_.get());
+      try {
+        program(proc);
+      } catch (const BarrierAborted&) {
+        // A peer failed first; its exception is the one to report.
+      } catch (...) {
+        {
+          std::scoped_lock lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        // Unblock peers waiting at the barrier so the program tears down
+        // instead of deadlocking.
+        barrier_.abort_all();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+const CommStats& Machine::stats(std::uint32_t rank) const {
+  HISTCC_REQUIRE(rank < nprocs_, "rank out of range");
+  return stats_[rank];
+}
+
+CommStats Machine::total_stats() const noexcept {
+  CommStats total;
+  for (const auto& s : stats_) total += s;
+  return total;
+}
+
+CommStats Machine::max_stats() const noexcept {
+  CommStats mx;
+  for (const auto& s : stats_) mx.max_with(s);
+  return mx;
+}
+
+std::uint64_t Machine::served_words(std::uint32_t rank) const {
+  HISTCC_REQUIRE(rank < nprocs_, "rank out of range");
+  return served_[rank].load(std::memory_order_relaxed);
+}
+
+std::uint64_t Machine::max_port_words() const noexcept {
+  std::uint64_t mx = 0;
+  for (std::uint32_t rank = 0; rank < nprocs_; ++rank) {
+    mx = std::max(mx, stats_[rank].words +
+                          served_[rank].load(std::memory_order_relaxed));
+  }
+  return mx;
+}
+
+void Machine::reset_stats() noexcept {
+  for (auto& s : stats_) s = CommStats{};
+  for (std::uint32_t rank = 0; rank < nprocs_; ++rank) {
+    served_[rank].store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace histcc::splitc

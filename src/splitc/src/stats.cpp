@@ -1,0 +1,8 @@
+// stats.hpp is header-only; compiled once here for ODR hygiene.
+#include "histcc/splitc/stats.hpp"
+
+namespace histcc::splitc {
+
+static_assert(sizeof(CommStats) > 0);
+
+}  // namespace histcc::splitc

@@ -1,0 +1,50 @@
+#ifndef HISTCC_UTIL_REQUIRE_HPP
+#define HISTCC_UTIL_REQUIRE_HPP
+
+/// \file require.hpp
+/// Contract checking for the public API boundary.
+///
+/// Public entry points validate their preconditions with HISTCC_REQUIRE,
+/// which throws std::invalid_argument with a message naming the violated
+/// condition.  Internal hot paths use HISTCC_ASSERT, which compiles away
+/// in release builds (NDEBUG).
+
+#include <stdexcept>
+#include <string>
+
+namespace histcc::util {
+
+/// Thrown when a documented precondition of a public API is violated.
+class contract_error : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Implementation detail of HISTCC_REQUIRE: builds the message and throws.
+[[noreturn]] void throw_contract_error(const char* condition, const char* func,
+                                       const std::string& detail);
+
+}  // namespace histcc::util
+
+/// Validate a precondition at a public API boundary; throws contract_error.
+#define HISTCC_REQUIRE(cond, detail)                                     \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::histcc::util::throw_contract_error(#cond, __func__, (detail));   \
+    }                                                                    \
+  } while (false)
+
+/// Internal invariant check; disabled when NDEBUG is defined.
+#ifdef NDEBUG
+#define HISTCC_ASSERT(cond) ((void)0)
+#else
+#define HISTCC_ASSERT(cond)                                              \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::histcc::util::throw_contract_error(#cond, __func__,              \
+                                           "internal invariant");        \
+    }                                                                    \
+  } while (false)
+#endif
+
+#endif  // HISTCC_UTIL_REQUIRE_HPP

@@ -1,0 +1,39 @@
+#ifndef HISTCC_UTIL_RNG_HPP
+#define HISTCC_UTIL_RNG_HPP
+
+/// \file rng.hpp
+/// Deterministic, seedable pseudo-random generator (splitmix64 +
+/// xoshiro256**).  Used by the image generators and the randomized tests so
+/// that every experiment in EXPERIMENTS.md is exactly reproducible; we do
+/// not use std::mt19937 because its distributions are not guaranteed to be
+/// identical across standard library implementations.
+
+#include <cstdint>
+
+namespace histcc::util {
+
+/// xoshiro256** seeded via splitmix64; passes BigCrush, tiny state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform value in [0, bound) using Lemire's unbiased multiply-shift
+  /// rejection method.  bound must be nonzero.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  /// Bernoulli trial with probability prob (clamped to [0,1]).
+  bool next_bool(double prob) noexcept;
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace histcc::util
+
+#endif  // HISTCC_UTIL_RNG_HPP

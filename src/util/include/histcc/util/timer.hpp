@@ -1,0 +1,58 @@
+#ifndef HISTCC_UTIL_TIMER_HPP
+#define HISTCC_UTIL_TIMER_HPP
+
+/// \file timer.hpp
+/// Monotonic wall-clock timer used by the benchmark harness to report the
+/// per-phase execution times the paper plots (computation time vs
+/// communication time).
+
+#include <chrono>
+#include <cstdint>
+
+namespace histcc::util {
+
+/// Simple monotonic stopwatch.
+class Timer {
+ public:
+  Timer() noexcept : start_(clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() noexcept { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Elapsed nanoseconds since construction or last reset().
+  [[nodiscard]] std::int64_t nanoseconds() const noexcept {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates time across start/stop intervals; used to split an
+/// algorithm's run into the paper's Tcomp / Tcomm buckets.
+class PhaseTimer {
+ public:
+  void start() noexcept { mark_ = clock::now(); }
+  void stop() noexcept {
+    total_ += std::chrono::duration<double>(clock::now() - mark_).count();
+  }
+  [[nodiscard]] double seconds() const noexcept { return total_; }
+  void reset() noexcept { total_ = 0.0; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point mark_{};
+  double total_ = 0.0;
+};
+
+}  // namespace histcc::util
+
+#endif  // HISTCC_UTIL_TIMER_HPP

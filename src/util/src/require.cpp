@@ -1,0 +1,18 @@
+#include "histcc/util/require.hpp"
+
+namespace histcc::util {
+
+void throw_contract_error(const char* condition, const char* func,
+                          const std::string& detail) {
+  std::string msg = "histcc: requirement `";
+  msg += condition;
+  msg += "` violated in ";
+  msg += func;
+  if (!detail.empty()) {
+    msg += ": ";
+    msg += detail;
+  }
+  throw contract_error(msg);
+}
+
+}  // namespace histcc::util

@@ -1,0 +1,246 @@
+// Tests for the BDM primitives: transpose (Algorithm 1), broadcast
+// (Algorithm 2), truncated transpose, gather-to-root, and the eq. (9)
+// group distribution — including their communication-cost bounds.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "histcc/bdm/primitives.hpp"
+
+namespace sc = histcc::splitc;
+namespace bdm = histcc::bdm;
+
+namespace {
+
+/// Fill spread column i (processor i's block) with values rank*stride + j.
+void fill_columns(sc::Spread<std::uint32_t>& a, std::size_t q) {
+  for (std::uint32_t rank = 0; rank < a.nprocs(); ++rank) {
+    auto b = a.block(rank);
+    for (std::size_t j = 0; j < q; ++j) {
+      b[j] = rank * 100000 + static_cast<std::uint32_t>(j);
+    }
+  }
+}
+
+}  // namespace
+
+class TransposeTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(TransposeTest, MatchesDefinition) {
+  const std::uint32_t p = GetParam();
+  const std::size_t q = 8 * p;  // p | q
+  sc::Machine m(p);
+  sc::Spread<std::uint32_t> a(m, q), b(m, q);
+  fill_columns(a, q);
+  m.run([&](sc::Proc& self) { bdm::transpose(self, b, a, q); });
+
+  const std::size_t blk = q / p;
+  for (std::uint32_t i = 0; i < p; ++i) {
+    auto out = b.block(i);
+    for (std::uint32_t r = 0; r < p; ++r) {
+      for (std::size_t j = 0; j < blk; ++j) {
+        // b[i][r*blk + j] == a[r][i*blk + j]
+        EXPECT_EQ(out[r * blk + j], r * 100000 + i * blk + j);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, TransposeTest,
+                         ::testing::Values(1, 2, 4, 8, 16, 32));
+
+TEST(TransposeTest, RequiresDivisibility) {
+  sc::Machine m(4);
+  sc::Spread<std::uint32_t> a(m, 6), b(m, 6);
+  EXPECT_THROW(
+      m.run([&](sc::Proc& self) { bdm::transpose(self, b, a, 6); }),
+      histcc::util::contract_error);
+}
+
+TEST(TransposeTest, CommCostMatchesEquation1) {
+  // Eq. (1): Tcomm = tau + q - q/p: each processor moves q - q/p remote
+  // words in one pipelined batch.
+  const std::uint32_t p = 8;
+  const std::size_t q = 64;
+  sc::Machine m(p);
+  sc::Spread<std::uint32_t> a(m, q), b(m, q);
+  m.run([&](sc::Proc& self) { bdm::transpose(self, b, a, q); });
+  for (std::uint32_t rank = 0; rank < p; ++rank) {
+    EXPECT_EQ(m.stats(rank).words, q - q / p) << "rank " << rank;
+    EXPECT_EQ(m.stats(rank).batches, 1u) << "rank " << rank;
+    EXPECT_EQ(m.stats(rank).messages, p - 1) << "rank " << rank;
+  }
+}
+
+class BroadcastTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BroadcastTest, EveryoneGetsTheColumn) {
+  const std::uint32_t p = GetParam();
+  const std::size_t q = 4 * p;
+  sc::Machine m(p);
+  sc::Spread<std::uint32_t> src(m, q), dst(m, q), scratch(m, q);
+  {
+    auto b = src.block(0);
+    std::iota(b.begin(), b.end(), 1000u);
+  }
+  m.run([&](sc::Proc& self) { bdm::broadcast(self, dst, src, scratch, q); });
+  for (std::uint32_t rank = 0; rank < p; ++rank) {
+    auto out = dst.block(rank);
+    for (std::size_t j = 0; j < q; ++j) {
+      EXPECT_EQ(out[j], 1000u + j) << "rank " << rank << " elem " << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, BroadcastTest,
+                         ::testing::Values(1, 2, 4, 8, 16, 32));
+
+TEST(BroadcastTest, CommCostMatchesEquation2) {
+  // Eq. (2): Tcomm = 2(tau + q - q/p) — exactly twice Algorithm 1, since
+  // step 1 is a full transpose and step 3 moves the same volume again.
+  const std::uint32_t p = 8;
+  const std::size_t q = 64;
+  sc::Machine m(p);
+  sc::Spread<std::uint32_t> src(m, q), dst(m, q), scratch(m, q);
+  m.run([&](sc::Proc& self) { bdm::broadcast(self, dst, src, scratch, q); });
+  for (std::uint32_t rank = 0; rank < p; ++rank) {
+    EXPECT_EQ(m.stats(rank).words, 2 * (q - q / p)) << "rank " << rank;
+    EXPECT_EQ(m.stats(rank).batches, 2u) << "rank " << rank;
+  }
+}
+
+TEST(TruncatedTransposeTest, FirstKProcsGetRows) {
+  const std::uint32_t p = 8;
+  const std::size_t k = 4;  // k < p
+  sc::Machine m(p);
+  sc::Spread<std::uint32_t> a(m, k), b(m, p);
+  for (std::uint32_t rank = 0; rank < p; ++rank) {
+    auto blk = a.block(rank);
+    for (std::size_t i = 0; i < k; ++i) {
+      blk[i] = rank * 10 + static_cast<std::uint32_t>(i);
+    }
+  }
+  m.run([&](sc::Proc& self) { bdm::truncated_transpose(self, b, a, k); });
+  for (std::uint32_t i = 0; i < k; ++i) {
+    auto out = b.block(i);
+    for (std::uint32_t r = 0; r < p; ++r) {
+      EXPECT_EQ(out[r], r * 10 + i);
+    }
+  }
+}
+
+TEST(GatherTest, RootAssemblesInRankOrder) {
+  const std::uint32_t p = 8;
+  sc::Machine m(p);
+  sc::Spread<std::uint32_t> src(m, 4), dst(m, 4 * p);
+  for (std::uint32_t rank = 0; rank < p; ++rank) {
+    auto blk = src.block(rank);
+    for (std::size_t i = 0; i < 4; ++i) {
+      blk[i] = rank * 4 + static_cast<std::uint32_t>(i);
+    }
+  }
+  m.run([&](sc::Proc& self) { bdm::gather_to_root(self, dst, src, 4); });
+  auto out = dst.block(0);
+  for (std::size_t i = 0; i < 4 * p; ++i) {
+    EXPECT_EQ(out[i], i);
+  }
+}
+
+TEST(GatherTest, LimitedBlockCount) {
+  const std::uint32_t p = 8;
+  sc::Machine m(p);
+  sc::Spread<std::uint32_t> src(m, 1), dst(m, 3);
+  for (std::uint32_t rank = 0; rank < p; ++rank) {
+    src.block(rank)[0] = rank + 50;
+  }
+  m.run([&](sc::Proc& self) {
+    bdm::gather_to_root(self, dst, src, 1, 0, 0, 3);
+  });
+  auto out = dst.block(0);
+  EXPECT_EQ(out[0], 50u);
+  EXPECT_EQ(out[1], 51u);
+  EXPECT_EQ(out[2], 52u);
+}
+
+TEST(GroupDistributionTest, ScatterThenAllgatherReassembles) {
+  const std::uint32_t p = 8;
+  sc::Machine m(p);
+  sc::SpreadVec<std::uint32_t> data(m);
+  sc::SpreadVec<std::uint32_t> stage(m);
+  // Group = ranks {2, 3, 6, 7}; root = 6 holds 10 elements.
+  const std::vector<std::uint32_t> members{2, 3, 6, 7};
+  {
+    auto& root_data = data.block(6);
+    root_data.resize(10);
+    std::iota(root_data.begin(), root_data.end(), 900u);
+  }
+  std::vector<std::vector<std::uint32_t>> results(p);
+  m.run([&](sc::Proc& self) {
+    const auto it =
+        std::find(members.begin(), members.end(), self.rank());
+    self.barrier();  // data published before entry, as in the merge loop
+    if (it != members.end()) {
+      const std::size_t my_index =
+          static_cast<std::size_t>(it - members.begin());
+      bdm::scatter_group(self, members, my_index, 2, data, stage);
+      self.barrier();
+      bdm::allgather_group(self, members, my_index, 10, stage,
+                           results[self.rank()]);
+    } else {
+      // Non-members pass the same number of barrier episodes (the shared
+      // one above plus this one, matching the members' mid-distribution
+      // barrier).
+      self.barrier();
+    }
+  });
+  for (const auto rank : members) {
+    ASSERT_EQ(results[rank].size(), 10u);
+    for (std::size_t i = 0; i < 10; ++i) {
+      EXPECT_EQ(results[rank][i], 900u + i) << "rank " << rank;
+    }
+  }
+}
+
+TEST(GroupDistributionTest, EmptyListIsHandled) {
+  const std::uint32_t p = 4;
+  sc::Machine m(p);
+  sc::SpreadVec<std::uint32_t> data(m);
+  sc::SpreadVec<std::uint32_t> stage(m);
+  const std::vector<std::uint32_t> members{0, 1, 2, 3};
+  m.run([&](sc::Proc& self) {
+    self.barrier();
+    bdm::scatter_group(self, members, self.rank(), 0, data, stage);
+    self.barrier();
+    std::vector<std::uint32_t> out{123u};  // must be cleared
+    bdm::allgather_group(self, members, self.rank(), 0, stage, out);
+    EXPECT_TRUE(out.empty());
+  });
+}
+
+TEST(GroupDistributionTest, UnevenSliceSizes) {
+  // 7 elements over 4 members: slices 2,2,2,1.
+  const std::uint32_t p = 4;
+  sc::Machine m(p);
+  sc::SpreadVec<std::uint32_t> data(m);
+  sc::SpreadVec<std::uint32_t> stage(m);
+  const std::vector<std::uint32_t> members{0, 1, 2, 3};
+  {
+    auto& root = data.block(0);
+    root.resize(7);
+    std::iota(root.begin(), root.end(), 0u);
+  }
+  std::vector<std::vector<std::uint32_t>> results(p);
+  m.run([&](sc::Proc& self) {
+    self.barrier();
+    const std::size_t len = bdm::scatter_group(self, members, self.rank(), 0,
+                                               data, stage);
+    EXPECT_EQ(len, self.rank() < 3 ? 2u : 1u);
+    self.barrier();
+    bdm::allgather_group(self, members, self.rank(), 7, stage,
+                         results[self.rank()]);
+  });
+  for (std::uint32_t rank = 0; rank < p; ++rank) {
+    ASSERT_EQ(results[rank].size(), 7u);
+    for (std::uint32_t i = 0; i < 7; ++i) EXPECT_EQ(results[rank][i], i);
+  }
+}

@@ -1,0 +1,214 @@
+// Tests for the border-graph merge kernel (Section 5.3) and Procedure 1:
+// edge semantics (same-label chains, cross-border adjacency under both
+// connectivities and colour rules), minimum-label representatives, and the
+// sorted-unique change array.
+#include <gtest/gtest.h>
+
+#include "histcc/cc/border_graph.hpp"
+
+#include "histcc/util/require.hpp"
+#include "histcc/util/rng.hpp"
+
+namespace cc = histcc::cc;
+namespace cs = histcc::ccseq;
+
+namespace {
+
+struct SideData {
+  std::vector<std::uint8_t> px;
+  std::vector<std::uint32_t> lb;
+  [[nodiscard]] cc::BorderSide side() const { return {px, lb}; }
+};
+
+}  // namespace
+
+TEST(SortSideTest, OrdersColouredPixelsByLabel) {
+  SideData s{{1, 0, 1, 1, 0, 1}, {30, 0, 10, 30, 0, 20}};
+  const auto sorted = cc::sort_side_by_label(s.side());
+  ASSERT_EQ(sorted.size(), 4u);  // background excluded
+  EXPECT_EQ(sorted[0], 2u);      // label 10
+  EXPECT_EQ(sorted[1], 5u);      // label 20
+  // labels 30 at positions 0 and 3 (stable order)
+  EXPECT_EQ(sorted[2], 0u);
+  EXPECT_EQ(sorted[3], 3u);
+}
+
+TEST(MergeBorderTest, EmptyBordersYieldNoChanges) {
+  SideData lo{{0, 0, 0}, {0, 0, 0}};
+  SideData hi{{0, 0, 0}, {0, 0, 0}};
+  const auto changes = cc::merge_border(lo.side(), hi.side(),
+                                        cs::Connectivity::kEight,
+                                        cs::ColourRule::kBinary);
+  EXPECT_TRUE(changes.empty());
+}
+
+TEST(MergeBorderTest, AdjacentPixelsMergeToMinimum) {
+  // One pixel on each side, directly adjacent: the larger label changes.
+  SideData lo{{1}, {5}};
+  SideData hi{{1}, {9}};
+  const auto changes = cc::merge_border(lo.side(), hi.side(),
+                                        cs::Connectivity::kFour,
+                                        cs::ColourRule::kBinary);
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_EQ(changes[0], (cc::ChangePair{9, 5}));
+}
+
+TEST(MergeBorderTest, FourConnectivityIgnoresDiagonals) {
+  // lo pixel at position 0, hi pixel at position 1: diagonal neighbours.
+  SideData lo{{1, 0}, {5, 0}};
+  SideData hi{{0, 1}, {0, 9}};
+  const auto four = cc::merge_border(lo.side(), hi.side(),
+                                     cs::Connectivity::kFour,
+                                     cs::ColourRule::kBinary);
+  EXPECT_TRUE(four.empty());
+  const auto eight = cc::merge_border(lo.side(), hi.side(),
+                                      cs::Connectivity::kEight,
+                                      cs::ColourRule::kBinary);
+  ASSERT_EQ(eight.size(), 1u);
+  EXPECT_EQ(eight[0], (cc::ChangePair{9, 5}));
+}
+
+TEST(MergeBorderTest, ColourRuleBlocksDifferentGreys) {
+  SideData lo{{3}, {5}};
+  SideData hi{{4}, {9}};
+  EXPECT_TRUE(cc::merge_border(lo.side(), hi.side(), cs::Connectivity::kFour,
+                               cs::ColourRule::kSameColour)
+                  .empty());
+  // Binary rule connects any two nonzero colours.
+  EXPECT_EQ(cc::merge_border(lo.side(), hi.side(), cs::Connectivity::kFour,
+                             cs::ColourRule::kBinary)
+                .size(),
+            1u);
+}
+
+TEST(MergeBorderTest, SameLabelChainsPropagateTransitively) {
+  // lo has label 7 at both ends (same region component); hi has two
+  // different labels adjacent to each end.  Chaining the 7s must put all
+  // four pixels into one graph component labeled min = 3.
+  SideData lo{{1, 0, 0, 1}, {7, 0, 0, 7}};
+  SideData hi{{1, 0, 0, 1}, {3, 0, 0, 12}};
+  const auto changes = cc::merge_border(lo.side(), hi.side(),
+                                        cs::Connectivity::kFour,
+                                        cs::ColourRule::kBinary);
+  ASSERT_EQ(changes.size(), 2u);
+  EXPECT_EQ(changes[0], (cc::ChangePair{7, 3}));
+  EXPECT_EQ(changes[1], (cc::ChangePair{12, 3}));
+}
+
+TEST(MergeBorderTest, ChangesAreSortedAndUnique) {
+  // Several alphas, each possibly appearing at many positions.
+  SideData lo{{1, 1, 1, 1, 1, 1}, {40, 40, 41, 41, 42, 42}};
+  SideData hi{{1, 1, 1, 1, 1, 1}, {2, 2, 2, 2, 2, 2}};
+  const auto changes = cc::merge_border(lo.side(), hi.side(),
+                                        cs::Connectivity::kFour,
+                                        cs::ColourRule::kBinary);
+  ASSERT_EQ(changes.size(), 3u);
+  for (std::size_t i = 1; i < changes.size(); ++i) {
+    EXPECT_LT(changes[i - 1].alpha, changes[i].alpha);
+  }
+  for (const auto& c : changes) EXPECT_EQ(c.beta, 2u);
+}
+
+TEST(MergeBorderTest, BetaIsNeverRemappedItself) {
+  // Representatives are minimum labels, so no change pair's beta appears
+  // as another pair's alpha (no chains to resolve).
+  SideData lo{{1, 1, 1, 1}, {10, 20, 30, 40}};
+  SideData hi{{1, 1, 1, 1}, {20, 30, 40, 50}};
+  const auto changes = cc::merge_border(lo.side(), hi.side(),
+                                        cs::Connectivity::kEight,
+                                        cs::ColourRule::kBinary);
+  for (const auto& c : changes) {
+    EXPECT_LT(c.beta, c.alpha);
+    for (const auto& other : changes) {
+      EXPECT_NE(other.alpha, c.beta);
+    }
+  }
+}
+
+TEST(MergeBorderTest, DisjointRunsOfOneLabelStillOneComponent) {
+  // Label 9 appears at positions 0 and 5 on the lo side with no adjacency
+  // between them; the type-1 chain must still unify their component, so a
+  // merge at position 5 renames the pixel at position 0 too.
+  SideData lo{{1, 0, 0, 0, 0, 1}, {9, 0, 0, 0, 0, 9}};
+  SideData hi{{0, 0, 0, 0, 0, 1}, {0, 0, 0, 0, 0, 4}};
+  const auto changes = cc::merge_border(lo.side(), hi.side(),
+                                        cs::Connectivity::kFour,
+                                        cs::ColourRule::kBinary);
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_EQ(changes[0], (cc::ChangePair{9, 4}));
+}
+
+TEST(MergeBorderTest, PresortedOverloadMatchesSelfSorting) {
+  SideData lo{{1, 1, 0, 1, 1}, {9, 8, 0, 8, 9}};
+  SideData hi{{1, 0, 1, 0, 1}, {3, 0, 7, 0, 7}};
+  const auto lo_sorted = cc::sort_side_by_label(lo.side());
+  const auto hi_sorted = cc::sort_side_by_label(hi.side());
+  const auto a = cc::merge_border(lo.side(), lo_sorted, hi.side(), hi_sorted,
+                                  cs::Connectivity::kEight,
+                                  cs::ColourRule::kBinary);
+  const auto b = cc::merge_border(lo.side(), hi.side(),
+                                  cs::Connectivity::kEight,
+                                  cs::ColourRule::kBinary);
+  EXPECT_EQ(a, b);
+}
+
+TEST(MergeBorderTest, MismatchedSidesRejected) {
+  SideData lo{{1, 1}, {1, 2}};
+  SideData hi{{1}, {3}};
+  EXPECT_THROW((void)cc::merge_border(lo.side(), hi.side(),
+                                      cs::Connectivity::kFour,
+                                      cs::ColourRule::kBinary),
+               histcc::util::contract_error);
+}
+
+TEST(ApplyChangesTest, BinarySearchSemantics) {
+  const std::vector<cc::ChangePair> changes{{10, 1}, {20, 2}, {30, 3}};
+  EXPECT_EQ(cc::apply_changes(changes, 10), 1u);
+  EXPECT_EQ(cc::apply_changes(changes, 20), 2u);
+  EXPECT_EQ(cc::apply_changes(changes, 30), 3u);
+  EXPECT_EQ(cc::apply_changes(changes, 15), 15u);
+  EXPECT_EQ(cc::apply_changes(changes, 5), 5u);
+  EXPECT_EQ(cc::apply_changes(changes, 31), 31u);
+  EXPECT_EQ(cc::apply_changes({}, 7), 7u);
+}
+
+TEST(MergeBorderTest, LongRandomBorderIsConsistent) {
+  // Randomised consistency: on a long border, every change pair must map
+  // to a label that exists on the border and is a minimum of its merged
+  // set; applying the changes must leave both sides with consistent labels
+  // for every cross-border adjacency.
+  histcc::util::Rng rng(99);
+  const std::size_t s = 512;
+  SideData lo, hi;
+  lo.px.resize(s);
+  lo.lb.resize(s);
+  hi.px.resize(s);
+  hi.lb.resize(s);
+  std::uint32_t run_label = 0;
+  for (std::size_t i = 0; i < s; ++i) {
+    if (i % 8 == 0 || rng.next_bool(0.3)) run_label += 2;
+    lo.px[i] = rng.next_bool(0.7) ? 1 : 0;
+    lo.lb[i] = lo.px[i] ? run_label : 0;
+    hi.px[i] = rng.next_bool(0.7) ? 1 : 0;
+    hi.lb[i] = hi.px[i] ? run_label + 1001 : 0;
+  }
+  const auto changes = cc::merge_border(lo.side(), hi.side(),
+                                        cs::Connectivity::kEight,
+                                        cs::ColourRule::kBinary);
+  auto final_lo = lo.lb;
+  auto final_hi = hi.lb;
+  for (auto& l : final_lo) {
+    if (l != 0) l = cc::apply_changes(changes, l);
+  }
+  for (auto& l : final_hi) {
+    if (l != 0) l = cc::apply_changes(changes, l);
+  }
+  // Adjacent coloured pixels across the border now share a label.
+  for (std::size_t i = 0; i < s; ++i) {
+    if (lo.px[i] == 0) continue;
+    for (const std::size_t j : {i - 1, i, i + 1}) {
+      if (j >= s || hi.px[j] == 0) continue;
+      EXPECT_EQ(final_lo[i], final_hi[j]) << "positions " << i << "," << j;
+    }
+  }
+}

@@ -1,0 +1,173 @@
+// Tests for the BDM collectives (reduce_to_root, allreduce, exscan,
+// all_to_all): results, cost ledgers, and edge cases.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "histcc/bdm/collectives.hpp"
+
+namespace sc = histcc::splitc;
+namespace bdm = histcc::bdm;
+
+namespace {
+constexpr auto plus_op = [](std::uint32_t a, std::uint32_t b) { return a + b; };
+constexpr auto max_op = [](std::uint32_t a, std::uint32_t b) {
+  return a > b ? a : b;
+};
+}  // namespace
+
+class ReduceTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ReduceTest, SumsElementwiseOnRoot) {
+  const std::uint32_t p = GetParam();
+  const std::size_t count = 16;
+  sc::Machine m(p);
+  sc::Spread<std::uint32_t> src(m, count), dst(m, count);
+  for (std::uint32_t rank = 0; rank < p; ++rank) {
+    auto b = src.block(rank);
+    for (std::size_t e = 0; e < count; ++e) {
+      b[e] = rank + static_cast<std::uint32_t>(e);
+    }
+  }
+  m.run([&](sc::Proc& self) {
+    bdm::reduce_to_root(self, dst, src, count, plus_op);
+  });
+  const std::uint32_t rank_sum = p * (p - 1) / 2;
+  auto out = dst.block(0);
+  for (std::size_t e = 0; e < count; ++e) {
+    EXPECT_EQ(out[e], rank_sum + p * e);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, ReduceTest, ::testing::Values(1, 2, 8, 32));
+
+TEST(ReduceTest, NonZeroRootAndMaxOp) {
+  const std::uint32_t p = 8;
+  sc::Machine m(p);
+  sc::Spread<std::uint32_t> src(m, 4), dst(m, 4);
+  for (std::uint32_t rank = 0; rank < p; ++rank) {
+    auto b = src.block(rank);
+    for (std::uint32_t e = 0; e < 4; ++e) b[e] = (rank * 7 + e * 3) % 23;
+  }
+  m.run([&](sc::Proc& self) {
+    bdm::reduce_to_root(self, dst, src, 4, max_op, 5);
+  });
+  auto out = dst.block(5);
+  for (std::size_t e = 0; e < 4; ++e) {
+    std::uint32_t expected = 0;
+    for (std::uint32_t rank = 0; rank < p; ++rank) {
+      expected = std::max(expected, (rank * 7 + static_cast<std::uint32_t>(e) * 3) % 23);
+    }
+    EXPECT_EQ(out[e], expected);
+  }
+}
+
+TEST(ReduceTest, RootMovesAllRemoteWordsInOneBatch) {
+  const std::uint32_t p = 8;
+  const std::size_t count = 32;
+  sc::Machine m(p);
+  sc::Spread<std::uint32_t> src(m, count), dst(m, count);
+  m.run([&](sc::Proc& self) {
+    bdm::reduce_to_root(self, dst, src, count, plus_op);
+  });
+  EXPECT_EQ(m.stats(0).words, (p - 1) * count);
+  EXPECT_EQ(m.stats(0).batches, 1u);
+  for (std::uint32_t rank = 1; rank < p; ++rank) {
+    EXPECT_EQ(m.stats(rank).words, 0u);
+  }
+}
+
+class AllreduceTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(AllreduceTest, EveryoneHoldsTheSum) {
+  const std::uint32_t p = GetParam();
+  const std::size_t count = 8 * p;
+  sc::Machine m(p);
+  sc::Spread<std::uint32_t> src(m, count), dst(m, count),
+      scratch(m, count / p);
+  for (std::uint32_t rank = 0; rank < p; ++rank) {
+    auto b = src.block(rank);
+    for (std::size_t e = 0; e < count; ++e) {
+      b[e] = rank * 1000 + static_cast<std::uint32_t>(e);
+    }
+  }
+  m.run([&](sc::Proc& self) {
+    bdm::allreduce(self, dst, src, scratch, count, plus_op);
+  });
+  const std::uint32_t rank_sum = 1000 * p * (p - 1) / 2;
+  for (std::uint32_t rank = 0; rank < p; ++rank) {
+    auto out = dst.block(rank);
+    for (std::size_t e = 0; e < count; ++e) {
+      ASSERT_EQ(out[e], rank_sum + p * e) << "rank " << rank << " e " << e;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, AllreduceTest,
+                         ::testing::Values(1, 2, 4, 16, 32));
+
+TEST(AllreduceTest, CommVolumeMatchesTwoTransposes) {
+  const std::uint32_t p = 8;
+  const std::size_t count = 64;
+  sc::Machine m(p);
+  sc::Spread<std::uint32_t> src(m, count), dst(m, count),
+      scratch(m, count / p);
+  m.run([&](sc::Proc& self) {
+    bdm::allreduce(self, dst, src, scratch, count, plus_op);
+  });
+  for (std::uint32_t rank = 0; rank < p; ++rank) {
+    EXPECT_EQ(m.stats(rank).words, 2 * (count - count / p));
+    EXPECT_EQ(m.stats(rank).batches, 2u);
+  }
+}
+
+TEST(ExscanTest, ExclusivePrefixSums) {
+  const std::uint32_t p = 16;
+  sc::Machine m(p);
+  sc::Spread<std::uint32_t> slots(m, 1);
+  std::vector<std::uint32_t> results(p);
+  m.run([&](sc::Proc& self) {
+    results[self.rank()] =
+        bdm::exscan(self, slots, self.rank() + 1, plus_op);
+  });
+  // Value of rank r is r+1; exclusive prefix is sum 1..r = r(r+1)/2.
+  for (std::uint32_t rank = 0; rank < p; ++rank) {
+    EXPECT_EQ(results[rank], rank * (rank + 1) / 2);
+  }
+}
+
+TEST(ExscanTest, RankZeroGetsIdentity) {
+  sc::Machine m(4);
+  sc::Spread<std::uint32_t> slots(m, 1);
+  std::vector<std::uint32_t> results(4, 99);
+  m.run([&](sc::Proc& self) {
+    results[self.rank()] = bdm::exscan(self, slots, 7u, plus_op);
+  });
+  EXPECT_EQ(results[0], 0u);
+  EXPECT_EQ(results[3], 21u);
+}
+
+TEST(AllToAllTest, SlicesArriveTransposed) {
+  const std::uint32_t p = 8;
+  const std::size_t slice = 4;
+  sc::Machine m(p);
+  sc::Spread<std::uint32_t> src(m, p * slice), dst(m, p * slice);
+  for (std::uint32_t rank = 0; rank < p; ++rank) {
+    auto b = src.block(rank);
+    for (std::uint32_t j = 0; j < p; ++j) {
+      for (std::size_t e = 0; e < slice; ++e) {
+        b[j * slice + e] = rank * 10000 + j * 100 + static_cast<std::uint32_t>(e);
+      }
+    }
+  }
+  m.run([&](sc::Proc& self) { bdm::all_to_all(self, dst, src, slice); });
+  for (std::uint32_t rank = 0; rank < p; ++rank) {
+    auto b = dst.block(rank);
+    for (std::uint32_t from = 0; from < p; ++from) {
+      for (std::uint32_t e = 0; e < slice; ++e) {
+        // dst[rank] slice `from` = src[from] slice `rank`.
+        EXPECT_EQ(b[from * slice + e], from * 10000 + rank * 100 + e);
+      }
+    }
+  }
+}

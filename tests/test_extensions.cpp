@@ -1,0 +1,123 @@
+// Tests for the library extensions: fully parallel histogram equalization
+// (Algorithm 2 broadcast of the remap table) and the "complete image per
+// PE" replicated baseline.
+#include <gtest/gtest.h>
+
+#include "histcc/cc/replicated.hpp"
+#include "histcc/cc_seq/bfs_label.hpp"
+#include "histcc/hist/equalize.hpp"
+#include "histcc/hist/histogram.hpp"
+#include "histcc/image/generators.hpp"
+#include "histcc/splitc/machine.hpp"
+#include "histcc/util/require.hpp"
+#include "histcc/util/rng.hpp"
+
+namespace cc = histcc::cc;
+namespace cs = histcc::ccseq;
+namespace hh = histcc::hist;
+namespace im = histcc::img;
+namespace sc = histcc::splitc;
+
+class EqualizeParallelSweep : public ::testing::TestWithParam<std::uint32_t> {
+};
+
+TEST_P(EqualizeParallelSweep, MatchesSequentialEqualize) {
+  const std::uint32_t p = GetParam();
+  const std::uint32_t n = 64, k = 256;
+  const auto image = im::make_darpa_like(n, 12345);
+  const auto expected = hh::equalize(image, k);
+
+  sc::Machine machine(p);
+  const im::TileLayout layout(n, p);
+  sc::Spread<std::uint8_t> tiles(machine, layout.tile_size());
+  layout.scatter(image, tiles);
+  hh::equalize_parallel(machine, layout, tiles, k);
+  EXPECT_EQ(layout.gather(tiles), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, EqualizeParallelSweep,
+                         ::testing::Values(1, 2, 4, 8, 16, 32));
+
+TEST(EqualizeParallelTest, LowContrastInputGainsRange) {
+  const std::uint32_t n = 64, k = 256, p = 8;
+  im::GreyImage image(n, n);
+  histcc::util::Rng rng(5);
+  for (auto& px : image.pixels()) {
+    px = static_cast<std::uint8_t>(120 + rng.next_below(8));
+  }
+  sc::Machine machine(p);
+  const im::TileLayout layout(n, p);
+  sc::Spread<std::uint8_t> tiles(machine, layout.tile_size());
+  layout.scatter(image, tiles);
+  hh::equalize_parallel(machine, layout, tiles, k);
+  const auto out = layout.gather(tiles);
+  std::uint8_t lo = 255, hi = 0;
+  for (const auto px : out.pixels()) {
+    lo = std::min(lo, px);
+    hi = std::max(hi, px);
+  }
+  EXPECT_EQ(lo, 0);
+  EXPECT_GE(hi, 250);
+}
+
+TEST(EqualizeParallelTest, RequiresPDividesK) {
+  sc::Machine machine(32);
+  const im::TileLayout layout(64, 32);
+  sc::Spread<std::uint8_t> tiles(machine, layout.tile_size());
+  EXPECT_THROW(hh::equalize_parallel(machine, layout, tiles, 16),
+               histcc::util::contract_error);
+}
+
+class ReplicatedSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint32_t>> {};
+
+TEST_P(ReplicatedSweep, MatchesSequential) {
+  const auto [pattern, p] = GetParam();
+  const auto image =
+      im::make_test_pattern(static_cast<im::TestPattern>(pattern), 64);
+  sc::Machine machine(p);
+  const auto labels = cc::connected_components_replicated(machine, image);
+  EXPECT_EQ(labels, cs::label_components_bfs(image));
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalog, ReplicatedSweep,
+                         ::testing::Combine(::testing::Values(1, 5, 9),
+                                            ::testing::Values(1, 4, 16)));
+
+TEST(ReplicatedTest, GreyRuleAndFourConn) {
+  const auto image = im::make_darpa_like(64, 9);
+  sc::Machine machine(8);
+  const auto labels = cc::connected_components_replicated(
+      machine, image, cs::Connectivity::kFour, cs::ColourRule::kSameColour);
+  EXPECT_EQ(labels, cs::label_components_bfs(image, cs::Connectivity::kFour,
+                                             cs::ColourRule::kSameColour));
+}
+
+TEST(ReplicatedTest, CommCostIsTheWholeImageTwice) {
+  // The baseline's downfall: every processor receives ~2 n^2 pixel-words
+  // (Algorithm 2 over n^2 elements), where the paper's algorithm moves
+  // O(n) border words.
+  const std::uint32_t n = 64, p = 8;
+  const auto image = im::make_percolation(n, 0.5, 3);
+  sc::Machine machine(p);
+  (void)cc::connected_components_replicated(machine, image);
+  const auto words = machine.max_stats().words;
+  const auto total = static_cast<std::uint64_t>(n) * n;
+  EXPECT_EQ(words, 2 * (total - total / p));
+}
+
+TEST(ReplicatedTest, ComputationDoesNotScaleWithP) {
+  const auto image = im::make_percolation(64, 0.5, 3);
+  std::uint64_t ops_p2 = 0, ops_p16 = 0;
+  {
+    sc::Machine machine(2);
+    (void)cc::connected_components_replicated(machine, image);
+    ops_p2 = machine.max_stats().local_ops;
+  }
+  {
+    sc::Machine machine(16);
+    (void)cc::connected_components_replicated(machine, image);
+    ops_p16 = machine.max_stats().local_ops;
+  }
+  EXPECT_EQ(ops_p2, ops_p16) << "replicated work is independent of p";
+}

@@ -1,0 +1,96 @@
+// Tests for the label-propagation baseline: correctness against the
+// sequential labeler and its round count (the reason the paper's algorithm
+// wins on "difficult" images).
+#include <gtest/gtest.h>
+
+#include "histcc/cc/label_prop.hpp"
+#include "histcc/cc/parallel_cc.hpp"
+#include "histcc/cc_seq/bfs_label.hpp"
+#include "histcc/image/generators.hpp"
+#include "histcc/splitc/machine.hpp"
+
+namespace cc = histcc::cc;
+namespace cs = histcc::ccseq;
+namespace im = histcc::img;
+namespace sc = histcc::splitc;
+
+class LabelPropSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint32_t>> {};
+
+TEST_P(LabelPropSweep, MatchesSequential) {
+  const auto [pattern, p] = GetParam();
+  const auto image =
+      im::make_test_pattern(static_cast<im::TestPattern>(pattern), 64);
+  sc::Machine machine(p);
+  const auto labels = cc::connected_components_label_prop(machine, image);
+  EXPECT_EQ(labels, cs::label_components_bfs(image));
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalog, LabelPropSweep,
+                         ::testing::Combine(::testing::Range(1, 10),
+                                            ::testing::Values(1, 4, 16)));
+
+TEST(LabelPropTest, FourConnectivity) {
+  const auto image = im::make_percolation(64, 0.55, 5);
+  sc::Machine machine(16);
+  const auto labels = cc::connected_components_label_prop(
+      machine, image, cs::Connectivity::kFour);
+  EXPECT_EQ(labels,
+            cs::label_components_bfs(image, cs::Connectivity::kFour));
+}
+
+TEST(LabelPropTest, GreyColourRule) {
+  const auto image = im::make_darpa_like(64, 17);
+  sc::Machine machine(8);
+  const auto labels = cc::connected_components_label_prop(
+      machine, image, cs::Connectivity::kEight, cs::ColourRule::kSameColour);
+  EXPECT_EQ(labels,
+            cs::label_components_bfs(image, cs::Connectivity::kEight,
+                                     cs::ColourRule::kSameColour));
+}
+
+TEST(LabelPropTest, SingleProcessorNeedsOneRound) {
+  const auto image = im::make_percolation(64, 0.5, 9);
+  sc::Machine machine(1);
+  cc::LabelPropStats stats;
+  const auto labels = cc::connected_components_label_prop(
+      machine, image, cs::Connectivity::kEight, cs::ColourRule::kBinary,
+      &stats);
+  EXPECT_EQ(stats.rounds, 1u);
+  EXPECT_EQ(labels, cs::label_components_bfs(image));
+}
+
+TEST(LabelPropTest, SpiralNeedsManyMoreRoundsThanLogP) {
+  // The dual spiral snakes across the grid; min-label propagation needs a
+  // number of rounds proportional to the arm length in tiles, far more
+  // than the paper's log p merges.  This is the experiment behind the
+  // baseline comparison in the benches.
+  const auto image = im::make_test_pattern(im::TestPattern::kDualSpiral, 128);
+  sc::Machine machine(16);
+  cc::LabelPropStats stats;
+  const auto labels = cc::connected_components_label_prop(
+      machine, image, cs::Connectivity::kEight, cs::ColourRule::kBinary,
+      &stats);
+  EXPECT_EQ(labels, cs::label_components_bfs(image));
+  EXPECT_GT(stats.rounds, 4u);  // log p = 4
+}
+
+TEST(LabelPropTest, EasyImageConvergesFast) {
+  const auto image = im::make_test_pattern(im::TestPattern::kFourSquares, 64);
+  sc::Machine machine(16);
+  cc::LabelPropStats stats;
+  (void)cc::connected_components_label_prop(machine, image,
+                                            cs::Connectivity::kEight,
+                                            cs::ColourRule::kBinary, &stats);
+  EXPECT_LE(stats.rounds, 4u);
+}
+
+TEST(LabelPropTest, AgreesWithPaperAlgorithmEverywhere) {
+  for (const double occ : {0.3, 0.6, 0.9}) {
+    const auto image = im::make_percolation(64, occ, 123);
+    sc::Machine machine(8);
+    const auto prop = cc::connected_components_label_prop(machine, image);
+    const auto merge = cc::connected_components_parallel(machine, image);
+    EXPECT_EQ(prop, merge) << "occupancy " << occ;
+  }
+}

@@ -1,0 +1,179 @@
+// Tests for the merge schedule and group geometry (Sections 5.2-5.3):
+// phase counts, alternation, group sizes (2^t members), manager/shadow
+// adjacency, and the paper's Figure 4 example.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "histcc/cc/merge_schedule.hpp"
+
+namespace cc = histcc::cc;
+namespace hu = histcc::util;
+
+TEST(MergeScheduleTest, PhaseCountIsLogP) {
+  for (const std::uint32_t p : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    const auto grid = hu::grid_shape(p);
+    const auto schedule = cc::merge_schedule(grid);
+    EXPECT_EQ(schedule.size(), hu::log2_exact(p)) << "p=" << p;
+  }
+}
+
+TEST(MergeScheduleTest, AlternatesStartingHorizontal) {
+  const auto schedule = cc::merge_schedule(hu::grid_shape(64));  // 8x8
+  ASSERT_EQ(schedule.size(), 6u);
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    EXPECT_EQ(schedule[i].t, i + 1);
+    EXPECT_EQ(schedule[i].horizontal, (i % 2) == 0);
+  }
+}
+
+TEST(MergeScheduleTest, HorizontalAndVerticalCountsMatchGrid) {
+  for (const std::uint32_t p : {2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    const auto grid = hu::grid_shape(p);
+    const auto schedule = cc::merge_schedule(grid);
+    std::size_t horizontals = 0, verticals = 0;
+    for (const auto& phase : schedule) {
+      (phase.horizontal ? horizontals : verticals)++;
+    }
+    EXPECT_EQ(horizontals, hu::log2_exact(grid.cols)) << "p=" << p;
+    EXPECT_EQ(verticals, hu::log2_exact(grid.rows)) << "p=" << p;
+  }
+}
+
+TEST(MergeScheduleTest, GroupsGrowToFullGrid) {
+  for (const std::uint32_t p : {2u, 8u, 32u, 128u}) {
+    const auto grid = hu::grid_shape(p);
+    const auto schedule = cc::merge_schedule(grid);
+    // Each phase doubles the merged-region area; the last covers the grid.
+    std::uint32_t area = 1;
+    for (const auto& phase : schedule) {
+      EXPECT_EQ(phase.group_rows * phase.group_cols, 2 * area);
+      EXPECT_EQ(phase.region_rows * phase.region_cols, area);
+      area *= 2;
+    }
+    EXPECT_EQ(schedule.back().group_rows, grid.rows);
+    EXPECT_EQ(schedule.back().group_cols, grid.cols);
+  }
+}
+
+TEST(MergeScheduleTest, GroupSizeIsTwoToTheT) {
+  const auto grid = hu::grid_shape(128);
+  for (const auto& phase : cc::merge_schedule(grid)) {
+    EXPECT_EQ(phase.group_rows * phase.group_cols, 1u << phase.t)
+        << "phase " << phase.t;
+  }
+}
+
+// Figure 4 of the paper: 512 x 512 image, p = 32 (4 x 8 grid), t = 2 is a
+// vertical merge whose group managers sit at even (row, col) positions.
+TEST(GroupOfTest, Figure4Example) {
+  const auto grid = hu::grid_shape(32);
+  ASSERT_EQ(grid.rows, 4u);
+  ASSERT_EQ(grid.cols, 8u);
+  const auto schedule = cc::merge_schedule(grid);
+  const auto& phase2 = schedule[1];
+  EXPECT_FALSE(phase2.horizontal);
+  EXPECT_EQ(phase2.group_rows, 2u);
+  EXPECT_EQ(phase2.group_cols, 2u);
+
+  std::set<std::uint32_t> managers;
+  for (std::uint32_t i = 0; i < grid.rows; ++i) {
+    for (std::uint32_t j = 0; j < grid.cols; ++j) {
+      managers.insert(cc::group_of(phase2, grid, i, j).manager);
+    }
+  }
+  // One manager per 2x2 group: 8 managers, each at even (row, col).
+  EXPECT_EQ(managers.size(), 8u);
+  for (const auto m : managers) {
+    EXPECT_EQ((m / grid.cols) % 2, 0u);
+    EXPECT_EQ((m % grid.cols) % 2, 0u);
+  }
+  EXPECT_TRUE(managers.contains(0u));  // P0 manages rows {0,1} x cols {0,1}
+}
+
+TEST(GroupOfTest, ShadowIsDirectlyAcrossTheBorder) {
+  for (const std::uint32_t p : {4u, 16u, 64u, 128u}) {
+    const auto grid = hu::grid_shape(p);
+    for (const auto& phase : cc::merge_schedule(grid)) {
+      for (std::uint32_t i = 0; i < grid.rows; ++i) {
+        for (std::uint32_t j = 0; j < grid.cols; ++j) {
+          const auto g = cc::group_of(phase, grid, i, j);
+          const std::uint32_t mr = g.manager / grid.cols;
+          const std::uint32_t mc = g.manager % grid.cols;
+          const std::uint32_t sr = g.shadow / grid.cols;
+          const std::uint32_t sc = g.shadow % grid.cols;
+          if (phase.horizontal) {
+            EXPECT_EQ(sr, mr);
+            EXPECT_EQ(sc, mc + 1);
+            EXPECT_EQ(mc, g.border_lo);
+          } else {
+            EXPECT_EQ(sc, mc);
+            EXPECT_EQ(sr, mr + 1);
+            EXPECT_EQ(mr, g.border_lo);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(GroupOfTest, AllMembersAgreeOnTheirGroup) {
+  const auto grid = hu::grid_shape(32);
+  for (const auto& phase : cc::merge_schedule(grid)) {
+    for (std::uint32_t i = 0; i < grid.rows; ++i) {
+      for (std::uint32_t j = 0; j < grid.cols; ++j) {
+        const auto mine = cc::group_of(phase, grid, i, j);
+        for (const auto member : cc::group_members(mine, grid)) {
+          const auto theirs = cc::group_of(phase, grid, member / grid.cols,
+                                           member % grid.cols);
+          EXPECT_EQ(theirs.manager, mine.manager);
+          EXPECT_EQ(theirs.row0, mine.row0);
+          EXPECT_EQ(theirs.col0, mine.col0);
+        }
+      }
+    }
+  }
+}
+
+TEST(GroupOfTest, GroupsPartitionTheGrid) {
+  const auto grid = hu::grid_shape(64);
+  for (const auto& phase : cc::merge_schedule(grid)) {
+    std::set<std::uint32_t> covered;
+    std::set<std::uint32_t> managers;
+    for (std::uint32_t i = 0; i < grid.rows; ++i) {
+      for (std::uint32_t j = 0; j < grid.cols; ++j) {
+        managers.insert(cc::group_of(phase, grid, i, j).manager);
+      }
+    }
+    for (const auto m : managers) {
+      const auto g =
+          cc::group_of(phase, grid, m / grid.cols, m % grid.cols);
+      for (const auto member : cc::group_members(g, grid)) {
+        EXPECT_TRUE(covered.insert(member).second)
+            << "member " << member << " in two groups at phase " << phase.t;
+      }
+    }
+    EXPECT_EQ(covered.size(), static_cast<std::size_t>(64));
+  }
+}
+
+TEST(GroupOfTest, SidesHaveExpectedProcessorCounts) {
+  const auto grid = hu::grid_shape(128);  // 8 x 16
+  const auto schedule = cc::merge_schedule(grid);
+  // Horizontal phase t: side spans the group's rows = 2^((t-1)/2).
+  for (const auto& phase : schedule) {
+    const auto g = cc::group_of(phase, grid, 0, 0);
+    if (phase.horizontal) {
+      EXPECT_EQ(g.side_procs, phase.group_rows);
+    } else {
+      EXPECT_EQ(g.side_procs, phase.group_cols);
+    }
+  }
+}
+
+TEST(MergeScheduleTest, RejectsNonPaperGrids) {
+  EXPECT_THROW((void)cc::merge_schedule(hu::GridShape{2, 8}),
+               histcc::util::contract_error);
+  EXPECT_THROW((void)cc::merge_schedule(hu::GridShape{3, 3}),
+               histcc::util::contract_error);
+}

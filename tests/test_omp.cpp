@@ -1,0 +1,106 @@
+// Tests for the shared-memory (OpenMP) host backend: exact agreement with
+// the sequential references across workloads, connectivities, and colour
+// rules, plus strip-boundary edge cases.
+#include <gtest/gtest.h>
+
+#include "histcc/cc_seq/bfs_label.hpp"
+#include "histcc/hist/histogram.hpp"
+#include "histcc/image/generators.hpp"
+#include "histcc/omp/parallel_host.hpp"
+#include "histcc/util/require.hpp"
+
+namespace cs = histcc::ccseq;
+namespace hh = histcc::hist;
+namespace im = histcc::img;
+namespace ho = histcc::omp;
+
+TEST(OmpBackendTest, ReportsThreads) {
+  EXPECT_GE(ho::backend_threads(), 1u);
+}
+
+class OmpHistSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {
+};
+
+TEST_P(OmpHistSweep, MatchesSequential) {
+  const auto [n, k] = GetParam();
+  const auto image = im::make_random_grey(n, k, n * 3 + k);
+  EXPECT_EQ(ho::histogram_omp(image, k), hh::histogram_seq(image, k));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, OmpHistSweep,
+                         ::testing::Combine(::testing::Values(32u, 64u, 257u),
+                                            ::testing::Values(2u, 16u, 256u)));
+
+TEST(OmpHistTest, RejectsBadInputs) {
+  const auto image = im::make_random_grey(32, 256, 1);
+  EXPECT_THROW((void)ho::histogram_omp(image, 3),
+               histcc::util::contract_error);
+  EXPECT_THROW((void)ho::histogram_omp(image, 16),  // pixels >= 16 exist
+               histcc::util::contract_error);
+}
+
+class OmpCcSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(OmpCcSweep, MatchesBfsOnCatalog) {
+  const auto pattern = static_cast<im::TestPattern>(GetParam());
+  for (const std::uint32_t n : {64u, 127u, 128u}) {  // odd size too
+    const auto image = im::make_test_pattern(pattern, n);
+    for (const auto conn :
+         {cs::Connectivity::kFour, cs::Connectivity::kEight}) {
+      EXPECT_EQ(ho::connected_components_omp(image, conn),
+                cs::label_components_bfs(image, conn))
+          << im::pattern_name(pattern) << " n=" << n;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalog, OmpCcSweep, ::testing::Range(1, 10));
+
+TEST(OmpCcTest, GreyRule) {
+  const auto image = im::make_darpa_like(96, 77);
+  EXPECT_EQ(ho::connected_components_omp(image, cs::Connectivity::kEight,
+                                         cs::ColourRule::kSameColour),
+            cs::label_components_bfs(image, cs::Connectivity::kEight,
+                                     cs::ColourRule::kSameColour));
+}
+
+TEST(OmpCcTest, PercolationSweep) {
+  for (const double occ : {0.3, 0.592746, 0.9}) {
+    const auto image = im::make_percolation(128, occ, 11);
+    EXPECT_EQ(ho::connected_components_omp(image),
+              cs::label_components_bfs(image)) << occ;
+  }
+}
+
+TEST(OmpCcTest, ComponentsSpanningStripBoundaries) {
+  // Vertical lines cross every strip boundary; one component per column.
+  im::GreyImage image(64, 64, 0);
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    for (std::uint32_t j = 0; j < 64; j += 4) image(i, j) = 1;
+  }
+  EXPECT_EQ(ho::connected_components_omp(image, cs::Connectivity::kFour),
+            cs::label_components_bfs(image, cs::Connectivity::kFour));
+}
+
+TEST(OmpCcTest, TinyImages) {
+  for (const std::uint32_t n : {1u, 2u, 3u}) {
+    im::GreyImage image(n, n, 1);
+    const auto labels = ho::connected_components_omp(image);
+    for (const auto l : labels.pixels()) EXPECT_EQ(l, 1u);
+  }
+  const im::GreyImage empty_row(1, 8, 0);
+  const auto labels = ho::connected_components_omp(empty_row);
+  for (const auto l : labels.pixels()) EXPECT_EQ(l, 0u);
+}
+
+TEST(OmpCcTest, DeterministicAcrossRuns) {
+  const auto image = im::make_darpa_like(128, 4);
+  const auto first = ho::connected_components_omp(
+      image, cs::Connectivity::kEight, cs::ColourRule::kSameColour);
+  for (int round = 0; round < 5; ++round) {
+    EXPECT_EQ(ho::connected_components_omp(image, cs::Connectivity::kEight,
+                                           cs::ColourRule::kSameColour),
+              first);
+  }
+}

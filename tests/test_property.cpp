@@ -1,0 +1,159 @@
+// Property and stress tests across the whole stack: randomized
+// cross-validation of all four labelers, determinism under thread
+// scheduling, ledger reproducibility, and larger-scale smoke runs.
+#include <gtest/gtest.h>
+
+#include "histcc/histcc.hpp"
+
+using namespace histcc;
+
+// ---- Randomized cross-validation: all labelers agree on arbitrary
+// images, across connectivities, colour rules, sizes and machine sizes.
+class LabelerAgreement
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint32_t, std::uint32_t, std::uint32_t, int>> {};
+
+TEST_P(LabelerAgreement, FourWay) {
+  const auto [n, k, p, conn_int] = GetParam();
+  const auto conn = static_cast<ccseq::Connectivity>(conn_int);
+  const auto rule =
+      k == 2 ? ccseq::ColourRule::kBinary : ccseq::ColourRule::kSameColour;
+  const auto image = img::make_random_grey(n, k, 7777 + n * k + p);
+
+  const auto bfs = ccseq::label_components_bfs(image, conn, rule);
+  EXPECT_EQ(bfs, ccseq::label_components_unionfind(image, conn, rule));
+  EXPECT_EQ(bfs, ccseq::label_components_hoshen_kopelman(image, conn, rule));
+
+  splitc::Machine machine(p);
+  cc::CcOptions options;
+  options.connectivity = conn;
+  options.rule = rule;
+  EXPECT_EQ(bfs, cc::connected_components_parallel(machine, image, options));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomImages, LabelerAgreement,
+    ::testing::Combine(::testing::Values(32u, 64u),       // n
+                       ::testing::Values(2u, 4u, 16u),    // k
+                       ::testing::Values(2u, 8u, 32u),    // p
+                       ::testing::Values(4, 8)));         // connectivity
+
+// ---- Determinism: re-running the same parallel program must produce the
+// same labels AND the same communication ledger, regardless of thread
+// interleaving.
+TEST(DeterminismTest, RepeatedCcRunsIdentical) {
+  const auto image = img::make_darpa_like(96, 55);
+  splitc::Machine machine(16);
+  cc::CcOptions options;
+  options.rule = ccseq::ColourRule::kSameColour;
+
+  const auto first = cc::connected_components_parallel(machine, image, options);
+  const auto first_stats = machine.total_stats();
+  for (int round = 0; round < 3; ++round) {
+    const auto again =
+        cc::connected_components_parallel(machine, image, options);
+    EXPECT_EQ(again, first);
+    const auto stats = machine.total_stats();
+    EXPECT_EQ(stats.words, first_stats.words);
+    EXPECT_EQ(stats.messages, first_stats.messages);
+    EXPECT_EQ(stats.batches, first_stats.batches);
+    EXPECT_EQ(stats.barriers, first_stats.barriers);
+    EXPECT_EQ(stats.local_ops, first_stats.local_ops);
+  }
+}
+
+TEST(DeterminismTest, RepeatedHistogramRunsIdentical) {
+  const auto image = img::make_random_grey(128, 256, 2);
+  splitc::Machine machine(32);
+  const auto first = hist::histogram_parallel(machine, image, 256);
+  const auto first_words = machine.total_stats().words;
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_EQ(hist::histogram_parallel(machine, image, 256), first);
+    EXPECT_EQ(machine.total_stats().words, first_words);
+  }
+}
+
+// ---- Scale smoke tests (kept to a few seconds total).
+TEST(ScaleTest, Cc512At64Procs) {
+  const auto image = img::make_darpa_like(512, 1);
+  splitc::Machine machine(64);
+  cc::CcOptions options;
+  options.rule = ccseq::ColourRule::kSameColour;
+  const auto labels = cc::connected_components_parallel(machine, image, options);
+  EXPECT_EQ(labels, ccseq::label_components_bfs(
+                        image, ccseq::Connectivity::kEight,
+                        ccseq::ColourRule::kSameColour));
+}
+
+TEST(ScaleTest, Cc256At128Procs) {
+  // 128 virtual processors on a small host: heavy oversubscription, the
+  // full 7-phase merge schedule on an 8x16 grid.
+  const auto image = img::make_test_pattern(img::TestPattern::kDualSpiral, 256);
+  splitc::Machine machine(128);
+  const auto labels = cc::connected_components_parallel(machine, image);
+  EXPECT_EQ(labels, ccseq::label_components_bfs(image));
+}
+
+TEST(ScaleTest, Histogram1024At128Procs) {
+  const auto image = img::make_random_grey(1024, 256, 3);
+  splitc::Machine machine(128);
+  const auto counts = hist::histogram_parallel(machine, image, 256);
+  EXPECT_EQ(counts, hist::histogram_seq(image, 256));
+}
+
+TEST(ScaleTest, ManyBarrierEpisodesSurviveOversubscription) {
+  splitc::Machine machine(128);
+  std::vector<int> rounds(128, 0);
+  machine.run([&](splitc::Proc& self) {
+    for (int i = 0; i < 50; ++i) {
+      self.barrier();
+      rounds[self.rank()]++;
+    }
+  });
+  for (const int r : rounds) EXPECT_EQ(r, 50);
+}
+
+// ---- Ledger reproducibility across machine instances.
+TEST(LedgerTest, FreshMachineSameCosts) {
+  const auto image = img::make_percolation(64, 0.6, 17);
+  std::uint64_t words_a = 0, words_b = 0;
+  {
+    splitc::Machine machine(16);
+    (void)cc::connected_components_parallel(machine, image);
+    words_a = machine.total_stats().words;
+  }
+  {
+    splitc::Machine machine(16);
+    (void)cc::connected_components_parallel(machine, image);
+    words_b = machine.total_stats().words;
+  }
+  EXPECT_EQ(words_a, words_b);
+}
+
+// ---- The merge algorithm's communication grows like O(n), not O(n^2).
+TEST(AsymptoticsTest, CcWordsGrowLinearlyInN) {
+  auto words_for = [](std::uint32_t n) {
+    const auto image = img::make_percolation(n, 0.6, 5);
+    splitc::Machine machine(16);
+    (void)cc::connected_components_parallel(machine, image);
+    return machine.total_stats().words;
+  };
+  const auto w128 = words_for(128);
+  const auto w256 = words_for(256);
+  const auto w512 = words_for(512);
+  // Doubling n should roughly double the words (ratio far below the 4x
+  // that O(n^2) would give).
+  EXPECT_LT(static_cast<double>(w256) / static_cast<double>(w128), 2.6);
+  EXPECT_LT(static_cast<double>(w512) / static_cast<double>(w256), 2.6);
+  EXPECT_GT(static_cast<double>(w512) / static_cast<double>(w256), 1.5);
+}
+
+TEST(AsymptoticsTest, HistWordsConstantInN) {
+  auto words_for = [](std::uint32_t n) {
+    const auto image = img::make_random_grey(n, 64, 5);
+    splitc::Machine machine(16);
+    (void)hist::histogram_parallel(machine, image, 64);
+    return machine.total_stats().words;
+  };
+  EXPECT_EQ(words_for(64), words_for(512));
+}

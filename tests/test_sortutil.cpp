@@ -1,0 +1,154 @@
+// Tests for the radix / hybrid sorting kernels (paper footnotes 3 and 4).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "histcc/sortutil/radix.hpp"
+#include "histcc/util/rng.hpp"
+
+namespace su = histcc::sortutil;
+
+namespace {
+
+std::vector<std::uint32_t> random_keys(std::size_t n, std::uint64_t seed,
+                                       std::uint64_t bound = 0) {
+  histcc::util::Rng rng(seed);
+  std::vector<std::uint32_t> keys(n);
+  for (auto& k : keys) {
+    k = static_cast<std::uint32_t>(bound == 0 ? rng.next_u64()
+                                              : rng.next_below(bound));
+  }
+  return keys;
+}
+
+}  // namespace
+
+TEST(RadixSortTest, EmptyAndSingle) {
+  std::vector<std::uint32_t> empty;
+  su::radix_sort(empty);
+  EXPECT_TRUE(empty.empty());
+
+  std::vector<std::uint32_t> one{42};
+  su::radix_sort(one);
+  EXPECT_EQ(one[0], 42u);
+}
+
+TEST(RadixSortTest, SortsRandomFullRange) {
+  auto keys = random_keys(10000, 1);
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+  su::radix_sort(keys);
+  EXPECT_EQ(keys, expected);
+}
+
+TEST(RadixSortTest, SortsWithSharedHighBytes) {
+  // The merge step sorts labels that share their high bytes; pass skipping
+  // must not break correctness.
+  auto keys = random_keys(5000, 2, 256);  // only low byte varies
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+  su::radix_sort(keys);
+  EXPECT_EQ(keys, expected);
+}
+
+TEST(RadixSortTest, AllEqual) {
+  std::vector<std::uint32_t> keys(1000, 7);
+  su::radix_sort(keys);
+  for (const auto k : keys) EXPECT_EQ(k, 7u);
+}
+
+TEST(RadixSortTest, AlreadySortedAndReversed) {
+  std::vector<std::uint32_t> keys(1000);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = static_cast<std::uint32_t>(i);
+  }
+  su::radix_sort(keys);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+
+  std::vector<std::uint32_t> rev(1000);
+  for (std::size_t i = 0; i < rev.size(); ++i) {
+    rev[i] = static_cast<std::uint32_t>(rev.size() - i);
+  }
+  su::radix_sort(rev);
+  EXPECT_TRUE(std::is_sorted(rev.begin(), rev.end()));
+}
+
+TEST(RadixSortTest, ExtremeValues) {
+  std::vector<std::uint32_t> keys{0xFFFFFFFFu, 0u, 0x80000000u, 1u,
+                                  0x7FFFFFFFu};
+  su::radix_sort(keys);
+  EXPECT_EQ(keys, (std::vector<std::uint32_t>{0u, 1u, 0x7FFFFFFFu,
+                                              0x80000000u, 0xFFFFFFFFu}));
+}
+
+TEST(RadixSortByTest, SortsRecordsStably) {
+  struct Rec {
+    std::uint32_t key;
+    std::uint32_t seq;
+  };
+  histcc::util::Rng rng(3);
+  std::vector<Rec> records(4000);
+  for (std::uint32_t i = 0; i < records.size(); ++i) {
+    records[i] = Rec{static_cast<std::uint32_t>(rng.next_below(50)), i};
+  }
+  su::radix_sort_by(records, [](const Rec& r) { return r.key; });
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    ASSERT_LE(records[i - 1].key, records[i].key);
+    if (records[i - 1].key == records[i].key) {
+      // LSD radix sort is stable; equal keys keep input order.
+      ASSERT_LT(records[i - 1].seq, records[i].seq);
+    }
+  }
+}
+
+TEST(HybridSortTest, SmallInputsUseComparisonPathCorrectly) {
+  for (std::size_t n : {0u, 1u, 2u, 5u, 30u, 95u}) {
+    auto keys = random_keys(n, 100 + n);
+    auto expected = keys;
+    std::sort(expected.begin(), expected.end());
+    su::hybrid_sort(keys);
+    EXPECT_EQ(keys, expected) << "n=" << n;
+  }
+}
+
+TEST(HybridSortTest, LargeInputsUseRadixPathCorrectly) {
+  for (std::size_t n : {96u, 100u, 1000u, 20000u}) {
+    auto keys = random_keys(n, 200 + n);
+    auto expected = keys;
+    std::sort(expected.begin(), expected.end());
+    su::hybrid_sort(keys);
+    EXPECT_EQ(keys, expected) << "n=" << n;
+  }
+}
+
+TEST(HybridSortTest, ExplicitThresholdRespected) {
+  // With threshold 0 everything goes through radix; with a huge threshold
+  // everything goes through comparison sort.  Both must agree.
+  auto keys1 = random_keys(500, 5);
+  auto keys2 = keys1;
+  su::hybrid_sort(keys1, 0);
+  su::hybrid_sort(keys2, 1u << 20);
+  EXPECT_EQ(keys1, keys2);
+}
+
+// Property sweep: radix == std::sort across sizes and key ranges.
+class SortProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(SortProperty, MatchesStdSort) {
+  const auto [n, bound] = GetParam();
+  auto keys = random_keys(n, 31 * n + bound, bound);
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+  su::radix_sort(keys);
+  EXPECT_EQ(keys, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SortProperty,
+    ::testing::Combine(::testing::Values(3, 17, 64, 255, 1024, 9999),
+                       ::testing::Values(0ull, 2ull, 256ull, 65536ull,
+                                         1ull << 31)));

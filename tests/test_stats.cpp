@@ -1,0 +1,170 @@
+// Tests for component statistics: the sequential reference, the parallel
+// gather-and-merge version, and their agreement on every workload.
+#include <gtest/gtest.h>
+
+#include "histcc/cc/parallel_cc.hpp"
+#include "histcc/cc/stats_parallel.hpp"
+#include "histcc/cc_seq/analysis.hpp"
+#include "histcc/cc_seq/bfs_label.hpp"
+#include "histcc/image/generators.hpp"
+#include "histcc/splitc/machine.hpp"
+
+namespace cc = histcc::cc;
+namespace cs = histcc::ccseq;
+namespace im = histcc::img;
+namespace sc = histcc::splitc;
+
+namespace {
+
+void expect_stats_equal(const std::vector<cs::ComponentStats>& a,
+                        const std::vector<cs::ComponentStats>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].label, b[i].label);
+    EXPECT_EQ(a[i].colour, b[i].colour);
+    EXPECT_EQ(a[i].pixels, b[i].pixels);
+    EXPECT_EQ(a[i].min_row, b[i].min_row);
+    EXPECT_EQ(a[i].min_col, b[i].min_col);
+    EXPECT_EQ(a[i].max_row, b[i].max_row);
+    EXPECT_EQ(a[i].max_col, b[i].max_col);
+    EXPECT_DOUBLE_EQ(a[i].centroid_row(), b[i].centroid_row());
+    EXPECT_DOUBLE_EQ(a[i].centroid_col(), b[i].centroid_col());
+  }
+}
+
+}  // namespace
+
+TEST(ComponentStatsTest, SingleSquare) {
+  im::GreyImage image(8, 8, 0);
+  for (std::uint32_t i = 2; i <= 5; ++i) {
+    for (std::uint32_t j = 3; j <= 6; ++j) image(i, j) = 9;
+  }
+  const auto labels = cs::label_components_bfs(image);
+  const auto stats = cs::component_stats(image, labels);
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].pixels, 16u);
+  EXPECT_EQ(stats[0].colour, 9);
+  EXPECT_EQ(stats[0].min_row, 2u);
+  EXPECT_EQ(stats[0].max_row, 5u);
+  EXPECT_EQ(stats[0].min_col, 3u);
+  EXPECT_EQ(stats[0].max_col, 6u);
+  EXPECT_DOUBLE_EQ(stats[0].centroid_row(), 3.5);
+  EXPECT_DOUBLE_EQ(stats[0].centroid_col(), 4.5);
+}
+
+TEST(ComponentStatsTest, SortedByLabelAndComplete) {
+  const auto image = im::make_test_pattern(im::TestPattern::kFourSquares, 64);
+  const auto labels = cs::label_components_bfs(image);
+  const auto stats = cs::component_stats(image, labels);
+  ASSERT_EQ(stats.size(), 4u);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    if (i > 0) {
+      EXPECT_LT(stats[i - 1].label, stats[i].label);
+    }
+    total += stats[i].pixels;
+    // All four squares are congruent.
+    EXPECT_EQ(stats[i].pixels, stats[0].pixels);
+    EXPECT_EQ(stats[i].max_row - stats[i].min_row,
+              stats[i].max_col - stats[i].min_col);
+  }
+  std::uint64_t foreground = 0;
+  for (const auto px : image.pixels()) foreground += px != 0;
+  EXPECT_EQ(total, foreground);
+}
+
+TEST(ComponentStatsTest, EmptyImage) {
+  const im::GreyImage image(16, 16, 0);
+  const auto labels = cs::label_components_bfs(image);
+  EXPECT_TRUE(cs::component_stats(image, labels).empty());
+}
+
+TEST(ComponentStatsTest, MergePartialRecords) {
+  cs::ComponentStats a;
+  a.label = 5;
+  a.colour = 3;
+  a.pixels = 2;
+  a.min_row = 1;
+  a.max_row = 2;
+  a.min_col = 4;
+  a.max_col = 4;
+  a.sum_row = 3;
+  a.sum_col = 8;
+  cs::ComponentStats b = a;
+  b.min_row = 0;
+  b.max_col = 9;
+  a.merge(b);
+  EXPECT_EQ(a.pixels, 4u);
+  EXPECT_EQ(a.min_row, 0u);
+  EXPECT_EQ(a.max_col, 9u);
+  EXPECT_DOUBLE_EQ(a.sum_row, 6.0);
+
+  cs::ComponentStats empty;
+  empty.merge(a);
+  EXPECT_EQ(empty.pixels, 4u);
+  a.merge(cs::ComponentStats{});
+  EXPECT_EQ(a.pixels, 4u);
+}
+
+class StatsParallelSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint32_t>> {};
+
+TEST_P(StatsParallelSweep, MatchesSequential) {
+  const auto [pattern, p] = GetParam();
+  const auto image =
+      im::make_test_pattern(static_cast<im::TestPattern>(pattern), 64);
+  const auto labels = cs::label_components_bfs(image);
+  const auto expected = cs::component_stats(image, labels);
+  sc::Machine machine(p);
+  const auto actual = cc::component_stats_parallel(machine, image, labels);
+  expect_stats_equal(expected, actual);
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalog, StatsParallelSweep,
+                         ::testing::Combine(::testing::Range(1, 10),
+                                            ::testing::Values(1, 4, 8, 32)));
+
+TEST(StatsParallelTest, GreySceneMatches) {
+  const auto image = im::make_darpa_like(96, 4);
+  const auto labels = cs::label_components_bfs(
+      image, cs::Connectivity::kEight, cs::ColourRule::kSameColour);
+  const auto expected = cs::component_stats(image, labels);
+  sc::Machine machine(16);
+  expect_stats_equal(expected,
+                     cc::component_stats_parallel(machine, image, labels));
+}
+
+TEST(StatsParallelTest, DistributedPipelineEndToEnd) {
+  // The intended use: label with the parallel algorithm into a Spread,
+  // then measure without ever assembling the labeling on the host.
+  const std::uint32_t n = 64, p = 16;
+  const auto image = im::make_darpa_like(n, 21);
+  sc::Machine machine(p);
+  const im::TileLayout layout(n, p);
+  sc::Spread<std::uint8_t> tiles(machine, layout.tile_size());
+  sc::Spread<std::uint32_t> labels(machine, layout.tile_size());
+  layout.scatter(image, tiles);
+  cc::CcOptions options;
+  options.rule = cs::ColourRule::kSameColour;
+  cc::connected_components_parallel(machine, layout, tiles, labels, options);
+  const auto stats =
+      cc::component_stats_parallel(machine, layout, tiles, labels);
+
+  const auto reference = cs::component_stats(
+      image, cs::label_components_bfs(image, cs::Connectivity::kEight,
+                                      cs::ColourRule::kSameColour));
+  expect_stats_equal(reference, stats);
+}
+
+TEST(StatsParallelTest, ShapeMismatchRejected) {
+  const auto image = im::make_percolation(64, 0.5, 1);
+  const auto labels = cs::label_components_bfs(image);
+  sc::Machine machine(4);
+  const im::TileLayout layout(64, 4);
+  sc::Spread<std::uint8_t> tiles(machine, layout.tile_size());
+  sc::Spread<std::uint32_t> small(machine, 1);
+  layout.scatter(image, tiles);
+  EXPECT_THROW(
+      (void)cc::component_stats_parallel(machine, layout, tiles, small),
+      histcc::util::contract_error);
+}
