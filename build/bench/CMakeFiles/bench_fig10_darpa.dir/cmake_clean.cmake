@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_darpa.dir/bench_fig10_darpa.cpp.o"
+  "CMakeFiles/bench_fig10_darpa.dir/bench_fig10_darpa.cpp.o.d"
+  "bench_fig10_darpa"
+  "bench_fig10_darpa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_darpa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

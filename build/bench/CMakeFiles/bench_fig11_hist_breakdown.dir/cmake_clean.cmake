@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_hist_breakdown.dir/bench_fig11_hist_breakdown.cpp.o"
+  "CMakeFiles/bench_fig11_hist_breakdown.dir/bench_fig11_hist_breakdown.cpp.o.d"
+  "bench_fig11_hist_breakdown"
+  "bench_fig11_hist_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_hist_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

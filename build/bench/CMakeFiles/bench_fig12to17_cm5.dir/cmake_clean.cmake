@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12to17_cm5.dir/bench_fig12to17_cm5.cpp.o"
+  "CMakeFiles/bench_fig12to17_cm5.dir/bench_fig12to17_cm5.cpp.o.d"
+  "bench_fig12to17_cm5"
+  "bench_fig12to17_cm5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12to17_cm5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6to9_transpose.dir/bench_fig6to9_transpose.cpp.o"
+  "CMakeFiles/bench_fig6to9_transpose.dir/bench_fig6to9_transpose.cpp.o.d"
+  "bench_fig6to9_transpose"
+  "bench_fig6to9_transpose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6to9_transpose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

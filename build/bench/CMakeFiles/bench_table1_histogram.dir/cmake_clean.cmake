@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_histogram.dir/bench_table1_histogram.cpp.o"
+  "CMakeFiles/bench_table1_histogram.dir/bench_table1_histogram.cpp.o.d"
+  "bench_table1_histogram"
+  "bench_table1_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darpa_scene.dir/darpa_scene.cpp.o"
+  "CMakeFiles/darpa_scene.dir/darpa_scene.cpp.o.d"
+  "darpa_scene"
+  "darpa_scene.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darpa_scene.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ising_clusters.dir/ising_clusters.cpp.o"
+  "CMakeFiles/ising_clusters.dir/ising_clusters.cpp.o.d"
+  "ising_clusters"
+  "ising_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ising_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

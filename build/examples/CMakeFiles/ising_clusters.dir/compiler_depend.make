@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ising_clusters.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/object_recognition.dir/object_recognition.cpp.o"
+  "CMakeFiles/object_recognition.dir/object_recognition.cpp.o.d"
+  "object_recognition"
+  "object_recognition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/object_recognition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/percolation.dir/percolation.cpp.o"
+  "CMakeFiles/percolation.dir/percolation.cpp.o.d"
+  "percolation"
+  "percolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/percolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

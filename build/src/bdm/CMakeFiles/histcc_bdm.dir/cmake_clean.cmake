@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histcc_bdm.dir/src/primitives.cpp.o"
+  "CMakeFiles/histcc_bdm.dir/src/primitives.cpp.o.d"
+  "libhistcc_bdm.a"
+  "libhistcc_bdm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histcc_bdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

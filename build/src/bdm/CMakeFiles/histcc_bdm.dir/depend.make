@@ -1,0 +1,2 @@
+# Empty dependencies file for histcc_bdm.
+# This may be replaced when dependencies are built.

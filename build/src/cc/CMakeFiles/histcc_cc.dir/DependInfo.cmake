@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cc/src/border_graph.cpp" "src/cc/CMakeFiles/histcc_cc.dir/src/border_graph.cpp.o" "gcc" "src/cc/CMakeFiles/histcc_cc.dir/src/border_graph.cpp.o.d"
+  "/root/repo/src/cc/src/hooks.cpp" "src/cc/CMakeFiles/histcc_cc.dir/src/hooks.cpp.o" "gcc" "src/cc/CMakeFiles/histcc_cc.dir/src/hooks.cpp.o.d"
+  "/root/repo/src/cc/src/label_prop.cpp" "src/cc/CMakeFiles/histcc_cc.dir/src/label_prop.cpp.o" "gcc" "src/cc/CMakeFiles/histcc_cc.dir/src/label_prop.cpp.o.d"
+  "/root/repo/src/cc/src/merge_schedule.cpp" "src/cc/CMakeFiles/histcc_cc.dir/src/merge_schedule.cpp.o" "gcc" "src/cc/CMakeFiles/histcc_cc.dir/src/merge_schedule.cpp.o.d"
+  "/root/repo/src/cc/src/parallel_cc.cpp" "src/cc/CMakeFiles/histcc_cc.dir/src/parallel_cc.cpp.o" "gcc" "src/cc/CMakeFiles/histcc_cc.dir/src/parallel_cc.cpp.o.d"
+  "/root/repo/src/cc/src/region_graph.cpp" "src/cc/CMakeFiles/histcc_cc.dir/src/region_graph.cpp.o" "gcc" "src/cc/CMakeFiles/histcc_cc.dir/src/region_graph.cpp.o.d"
+  "/root/repo/src/cc/src/replicated.cpp" "src/cc/CMakeFiles/histcc_cc.dir/src/replicated.cpp.o" "gcc" "src/cc/CMakeFiles/histcc_cc.dir/src/replicated.cpp.o.d"
+  "/root/repo/src/cc/src/stats_parallel.cpp" "src/cc/CMakeFiles/histcc_cc.dir/src/stats_parallel.cpp.o" "gcc" "src/cc/CMakeFiles/histcc_cc.dir/src/stats_parallel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bdm/CMakeFiles/histcc_bdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc_seq/CMakeFiles/histcc_cc_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/histcc_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/sortutil/CMakeFiles/histcc_sort.dir/DependInfo.cmake"
+  "/root/repo/build/src/splitc/CMakeFiles/histcc_splitc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/histcc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

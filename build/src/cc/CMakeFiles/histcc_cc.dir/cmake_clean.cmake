@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histcc_cc.dir/src/border_graph.cpp.o"
+  "CMakeFiles/histcc_cc.dir/src/border_graph.cpp.o.d"
+  "CMakeFiles/histcc_cc.dir/src/hooks.cpp.o"
+  "CMakeFiles/histcc_cc.dir/src/hooks.cpp.o.d"
+  "CMakeFiles/histcc_cc.dir/src/label_prop.cpp.o"
+  "CMakeFiles/histcc_cc.dir/src/label_prop.cpp.o.d"
+  "CMakeFiles/histcc_cc.dir/src/merge_schedule.cpp.o"
+  "CMakeFiles/histcc_cc.dir/src/merge_schedule.cpp.o.d"
+  "CMakeFiles/histcc_cc.dir/src/parallel_cc.cpp.o"
+  "CMakeFiles/histcc_cc.dir/src/parallel_cc.cpp.o.d"
+  "CMakeFiles/histcc_cc.dir/src/region_graph.cpp.o"
+  "CMakeFiles/histcc_cc.dir/src/region_graph.cpp.o.d"
+  "CMakeFiles/histcc_cc.dir/src/replicated.cpp.o"
+  "CMakeFiles/histcc_cc.dir/src/replicated.cpp.o.d"
+  "CMakeFiles/histcc_cc.dir/src/stats_parallel.cpp.o"
+  "CMakeFiles/histcc_cc.dir/src/stats_parallel.cpp.o.d"
+  "libhistcc_cc.a"
+  "libhistcc_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histcc_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

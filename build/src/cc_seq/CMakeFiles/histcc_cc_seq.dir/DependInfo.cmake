@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cc_seq/src/analysis.cpp" "src/cc_seq/CMakeFiles/histcc_cc_seq.dir/src/analysis.cpp.o" "gcc" "src/cc_seq/CMakeFiles/histcc_cc_seq.dir/src/analysis.cpp.o.d"
+  "/root/repo/src/cc_seq/src/bfs_label.cpp" "src/cc_seq/CMakeFiles/histcc_cc_seq.dir/src/bfs_label.cpp.o" "gcc" "src/cc_seq/CMakeFiles/histcc_cc_seq.dir/src/bfs_label.cpp.o.d"
+  "/root/repo/src/cc_seq/src/hoshen_kopelman.cpp" "src/cc_seq/CMakeFiles/histcc_cc_seq.dir/src/hoshen_kopelman.cpp.o" "gcc" "src/cc_seq/CMakeFiles/histcc_cc_seq.dir/src/hoshen_kopelman.cpp.o.d"
+  "/root/repo/src/cc_seq/src/union_find.cpp" "src/cc_seq/CMakeFiles/histcc_cc_seq.dir/src/union_find.cpp.o" "gcc" "src/cc_seq/CMakeFiles/histcc_cc_seq.dir/src/union_find.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/image/CMakeFiles/histcc_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/histcc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/splitc/CMakeFiles/histcc_splitc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histcc_cc_seq.dir/src/analysis.cpp.o"
+  "CMakeFiles/histcc_cc_seq.dir/src/analysis.cpp.o.d"
+  "CMakeFiles/histcc_cc_seq.dir/src/bfs_label.cpp.o"
+  "CMakeFiles/histcc_cc_seq.dir/src/bfs_label.cpp.o.d"
+  "CMakeFiles/histcc_cc_seq.dir/src/hoshen_kopelman.cpp.o"
+  "CMakeFiles/histcc_cc_seq.dir/src/hoshen_kopelman.cpp.o.d"
+  "CMakeFiles/histcc_cc_seq.dir/src/union_find.cpp.o"
+  "CMakeFiles/histcc_cc_seq.dir/src/union_find.cpp.o.d"
+  "libhistcc_cc_seq.a"
+  "libhistcc_cc_seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histcc_cc_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhistcc_cc_seq.a"
+)

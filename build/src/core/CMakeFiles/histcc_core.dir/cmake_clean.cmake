@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histcc_core.dir/src/api.cpp.o"
+  "CMakeFiles/histcc_core.dir/src/api.cpp.o.d"
+  "CMakeFiles/histcc_core.dir/src/version.cpp.o"
+  "CMakeFiles/histcc_core.dir/src/version.cpp.o.d"
+  "libhistcc_core.a"
+  "libhistcc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histcc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histcc_hist.dir/src/equalize.cpp.o"
+  "CMakeFiles/histcc_hist.dir/src/equalize.cpp.o.d"
+  "CMakeFiles/histcc_hist.dir/src/histogram.cpp.o"
+  "CMakeFiles/histcc_hist.dir/src/histogram.cpp.o.d"
+  "libhistcc_hist.a"
+  "libhistcc_hist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histcc_hist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/image/src/generators.cpp" "src/image/CMakeFiles/histcc_image.dir/src/generators.cpp.o" "gcc" "src/image/CMakeFiles/histcc_image.dir/src/generators.cpp.o.d"
+  "/root/repo/src/image/src/halo.cpp" "src/image/CMakeFiles/histcc_image.dir/src/halo.cpp.o" "gcc" "src/image/CMakeFiles/histcc_image.dir/src/halo.cpp.o.d"
+  "/root/repo/src/image/src/layout.cpp" "src/image/CMakeFiles/histcc_image.dir/src/layout.cpp.o" "gcc" "src/image/CMakeFiles/histcc_image.dir/src/layout.cpp.o.d"
+  "/root/repo/src/image/src/pgm_io.cpp" "src/image/CMakeFiles/histcc_image.dir/src/pgm_io.cpp.o" "gcc" "src/image/CMakeFiles/histcc_image.dir/src/pgm_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/splitc/CMakeFiles/histcc_splitc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/histcc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histcc_image.dir/src/generators.cpp.o"
+  "CMakeFiles/histcc_image.dir/src/generators.cpp.o.d"
+  "CMakeFiles/histcc_image.dir/src/halo.cpp.o"
+  "CMakeFiles/histcc_image.dir/src/halo.cpp.o.d"
+  "CMakeFiles/histcc_image.dir/src/layout.cpp.o"
+  "CMakeFiles/histcc_image.dir/src/layout.cpp.o.d"
+  "CMakeFiles/histcc_image.dir/src/pgm_io.cpp.o"
+  "CMakeFiles/histcc_image.dir/src/pgm_io.cpp.o.d"
+  "libhistcc_image.a"
+  "libhistcc_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histcc_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

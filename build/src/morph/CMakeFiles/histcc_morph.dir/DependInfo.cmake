@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/morph/src/morphology.cpp" "src/morph/CMakeFiles/histcc_morph.dir/src/morphology.cpp.o" "gcc" "src/morph/CMakeFiles/histcc_morph.dir/src/morphology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/image/CMakeFiles/histcc_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/splitc/CMakeFiles/histcc_splitc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/histcc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histcc_morph.dir/src/morphology.cpp.o"
+  "CMakeFiles/histcc_morph.dir/src/morphology.cpp.o.d"
+  "libhistcc_morph.a"
+  "libhistcc_morph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histcc_morph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

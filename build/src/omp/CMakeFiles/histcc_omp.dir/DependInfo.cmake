@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/omp/src/components_omp.cpp" "src/omp/CMakeFiles/histcc_omp.dir/src/components_omp.cpp.o" "gcc" "src/omp/CMakeFiles/histcc_omp.dir/src/components_omp.cpp.o.d"
+  "/root/repo/src/omp/src/histogram_omp.cpp" "src/omp/CMakeFiles/histcc_omp.dir/src/histogram_omp.cpp.o" "gcc" "src/omp/CMakeFiles/histcc_omp.dir/src/histogram_omp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cc_seq/CMakeFiles/histcc_cc_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/histcc_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/histcc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/splitc/CMakeFiles/histcc_splitc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

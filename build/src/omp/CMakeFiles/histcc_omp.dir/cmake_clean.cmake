@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histcc_omp.dir/src/components_omp.cpp.o"
+  "CMakeFiles/histcc_omp.dir/src/components_omp.cpp.o.d"
+  "CMakeFiles/histcc_omp.dir/src/histogram_omp.cpp.o"
+  "CMakeFiles/histcc_omp.dir/src/histogram_omp.cpp.o.d"
+  "libhistcc_omp.a"
+  "libhistcc_omp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histcc_omp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histcc_sort.dir/src/radix.cpp.o"
+  "CMakeFiles/histcc_sort.dir/src/radix.cpp.o.d"
+  "libhistcc_sort.a"
+  "libhistcc_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histcc_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/splitc/src/barrier.cpp" "src/splitc/CMakeFiles/histcc_splitc.dir/src/barrier.cpp.o" "gcc" "src/splitc/CMakeFiles/histcc_splitc.dir/src/barrier.cpp.o.d"
+  "/root/repo/src/splitc/src/machine.cpp" "src/splitc/CMakeFiles/histcc_splitc.dir/src/machine.cpp.o" "gcc" "src/splitc/CMakeFiles/histcc_splitc.dir/src/machine.cpp.o.d"
+  "/root/repo/src/splitc/src/profile.cpp" "src/splitc/CMakeFiles/histcc_splitc.dir/src/profile.cpp.o" "gcc" "src/splitc/CMakeFiles/histcc_splitc.dir/src/profile.cpp.o.d"
+  "/root/repo/src/splitc/src/stats.cpp" "src/splitc/CMakeFiles/histcc_splitc.dir/src/stats.cpp.o" "gcc" "src/splitc/CMakeFiles/histcc_splitc.dir/src/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/histcc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histcc_splitc.dir/src/barrier.cpp.o"
+  "CMakeFiles/histcc_splitc.dir/src/barrier.cpp.o.d"
+  "CMakeFiles/histcc_splitc.dir/src/machine.cpp.o"
+  "CMakeFiles/histcc_splitc.dir/src/machine.cpp.o.d"
+  "CMakeFiles/histcc_splitc.dir/src/profile.cpp.o"
+  "CMakeFiles/histcc_splitc.dir/src/profile.cpp.o.d"
+  "CMakeFiles/histcc_splitc.dir/src/stats.cpp.o"
+  "CMakeFiles/histcc_splitc.dir/src/stats.cpp.o.d"
+  "libhistcc_splitc.a"
+  "libhistcc_splitc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histcc_splitc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhistcc_splitc.a"
+)

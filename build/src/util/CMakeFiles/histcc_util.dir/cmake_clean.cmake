@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histcc_util.dir/src/require.cpp.o"
+  "CMakeFiles/histcc_util.dir/src/require.cpp.o.d"
+  "CMakeFiles/histcc_util.dir/src/rng.cpp.o"
+  "CMakeFiles/histcc_util.dir/src/rng.cpp.o.d"
+  "CMakeFiles/histcc_util.dir/src/timer.cpp.o"
+  "CMakeFiles/histcc_util.dir/src/timer.cpp.o.d"
+  "libhistcc_util.a"
+  "libhistcc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histcc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bdm.dir/test_bdm.cpp.o"
+  "CMakeFiles/test_bdm.dir/test_bdm.cpp.o.d"
+  "test_bdm"
+  "test_bdm.pdb"
+  "test_bdm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

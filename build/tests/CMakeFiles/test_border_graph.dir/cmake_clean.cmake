@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_border_graph.dir/test_border_graph.cpp.o"
+  "CMakeFiles/test_border_graph.dir/test_border_graph.cpp.o.d"
+  "test_border_graph"
+  "test_border_graph.pdb"
+  "test_border_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_border_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

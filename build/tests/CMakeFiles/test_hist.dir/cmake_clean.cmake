@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hist.dir/test_hist.cpp.o"
+  "CMakeFiles/test_hist.dir/test_hist.cpp.o.d"
+  "test_hist"
+  "test_hist.pdb"
+  "test_hist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hooks.dir/test_hooks.cpp.o"
+  "CMakeFiles/test_hooks.dir/test_hooks.cpp.o.d"
+  "test_hooks"
+  "test_hooks.pdb"
+  "test_hooks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hooks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_label_prop.dir/test_label_prop.cpp.o"
+  "CMakeFiles/test_label_prop.dir/test_label_prop.cpp.o.d"
+  "test_label_prop"
+  "test_label_prop.pdb"
+  "test_label_prop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_label_prop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

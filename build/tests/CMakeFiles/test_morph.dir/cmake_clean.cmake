@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_morph.dir/test_morph.cpp.o"
+  "CMakeFiles/test_morph.dir/test_morph.cpp.o.d"
+  "test_morph"
+  "test_morph.pdb"
+  "test_morph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_morph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

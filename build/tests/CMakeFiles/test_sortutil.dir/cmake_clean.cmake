@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sortutil.dir/test_sortutil.cpp.o"
+  "CMakeFiles/test_sortutil.dir/test_sortutil.cpp.o.d"
+  "test_sortutil"
+  "test_sortutil.pdb"
+  "test_sortutil[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sortutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_sortutil.
+# This may be replaced when dependencies are built.

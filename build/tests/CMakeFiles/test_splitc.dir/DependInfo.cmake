@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_splitc.cpp" "tests/CMakeFiles/test_splitc.dir/test_splitc.cpp.o" "gcc" "tests/CMakeFiles/test_splitc.dir/test_splitc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/histcc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/histcc_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/hist/CMakeFiles/histcc_hist.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdm/CMakeFiles/histcc_bdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/morph/CMakeFiles/histcc_morph.dir/DependInfo.cmake"
+  "/root/repo/build/src/omp/CMakeFiles/histcc_omp.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc_seq/CMakeFiles/histcc_cc_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/histcc_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/sortutil/CMakeFiles/histcc_sort.dir/DependInfo.cmake"
+  "/root/repo/build/src/splitc/CMakeFiles/histcc_splitc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/histcc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

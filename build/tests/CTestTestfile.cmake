@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_splitc[1]_include.cmake")
+include("/root/repo/build/tests/test_sortutil[1]_include.cmake")
+include("/root/repo/build/tests/test_bdm[1]_include.cmake")
+include("/root/repo/build/tests/test_collectives[1]_include.cmake")
+include("/root/repo/build/tests/test_image[1]_include.cmake")
+include("/root/repo/build/tests/test_cc_seq[1]_include.cmake")
+include("/root/repo/build/tests/test_hist[1]_include.cmake")
+include("/root/repo/build/tests/test_merge_schedule[1]_include.cmake")
+include("/root/repo/build/tests/test_border_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_hooks[1]_include.cmake")
+include("/root/repo/build/tests/test_cc_parallel[1]_include.cmake")
+include("/root/repo/build/tests/test_label_prop[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_region_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_omp[1]_include.cmake")
+include("/root/repo/build/tests/test_morph[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_property[1]_include.cmake")
+include("/root/repo/build/tests/test_robustness[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histcc_cli.dir/histcc_cli.cpp.o"
+  "CMakeFiles/histcc_cli.dir/histcc_cli.cpp.o.d"
+  "histcc"
+  "histcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histcc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

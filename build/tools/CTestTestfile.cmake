@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli.generate_and_info "sh" "-c" "/root/repo/build/tools/histcc generate --kind dual-spiral --n 64 --out /root/repo/build/tools/spiral.pgm && /root/repo/build/tools/histcc info --in /root/repo/build/tools/spiral.pgm")
+set_tests_properties(cli.generate_and_info PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.components_merge "/root/repo/build/tools/histcc" "components" "--kind" "four-squares" "--n" "64" "--p" "8" "--stats")
+set_tests_properties(cli.components_merge PROPERTIES  PASS_REGULAR_EXPRESSION "4 components" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.components_prop "/root/repo/build/tools/histcc" "components" "--kind" "dual-spiral" "--n" "64" "--p" "4" "--algo" "prop")
+set_tests_properties(cli.components_prop PROPERTIES  PASS_REGULAR_EXPRESSION "2 components" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.components_replicated "/root/repo/build/tools/histcc" "components" "--kind" "disc" "--n" "64" "--p" "4" "--algo" "replicated")
+set_tests_properties(cli.components_replicated PROPERTIES  PASS_REGULAR_EXPRESSION "1 components" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.histogram "/root/repo/build/tools/histcc" "histogram" "--kind" "banded" "--n" "64" "--k" "8" "--p" "4" "--phases")
+set_tests_properties(cli.histogram PROPERTIES  PASS_REGULAR_EXPRESSION "4096 pixels" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.equalize "/root/repo/build/tools/histcc" "equalize" "--kind" "darpa" "--n" "64" "--p" "4" "--k" "256" "--out" "/root/repo/build/tools/eq.pgm")
+set_tests_properties(cli.equalize PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;25;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.grey_components "/root/repo/build/tools/histcc" "components" "--kind" "darpa" "--n" "64" "--p" "8" "--rule" "grey" "--conn" "4")
+set_tests_properties(cli.grey_components PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;28;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.morph_open "/root/repo/build/tools/histcc" "morph" "--kind" "four-squares" "--n" "64" "--op" "open" "--out" "/root/repo/build/tools/opened.pgm")
+set_tests_properties(cli.morph_open PROPERTIES  PASS_REGULAR_EXPRESSION "foreground px" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;31;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.components_omp "/root/repo/build/tools/histcc" "components" "--kind" "four-squares" "--n" "64" "--algo" "omp")
+set_tests_properties(cli.components_omp PROPERTIES  PASS_REGULAR_EXPRESSION "4 components" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;36;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.rejects_bad_command "/root/repo/build/tools/histcc" "frobnicate")
+set_tests_properties(cli.rejects_bad_command PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;40;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.rejects_missing_file "/root/repo/build/tools/histcc" "info" "--in" "/root/repo/build/tools/no-such.pgm")
+set_tests_properties(cli.rejects_missing_file PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;42;add_test;/root/repo/tools/CMakeLists.txt;0;")
