@@ -53,6 +53,7 @@ void reduce_to_root(splitc::Proc& self, splitc::Spread<T>& dst,
         acc[e] = op(acc[e], chunk[e]);
       }
     }
+    dst.note_local_write(self, 0, count);  // race-ledger epoch annotation
     self.charge_ops(static_cast<std::uint64_t>(p - 1) * count);
   }
   self.sync();
@@ -87,6 +88,7 @@ void allreduce(splitc::Proc& self, splitc::Spread<T>& dst,
         acc[e] = op(acc[e], chunk[e]);
       }
     }
+    scratch.note_local_write(self, 0, blk);  // race-ledger epoch annotation
     self.sync();
     self.charge_ops(static_cast<std::uint64_t>(p - 1) * blk);
   }
@@ -100,6 +102,7 @@ void allreduce(splitc::Proc& self, splitc::Spread<T>& dst,
       scratch.prefetch(self, mine.subspan(static_cast<std::size_t>(r) * blk, blk),
                        r, 0, blk);
     }
+    dst.note_local_write(self, 0, count);  // race-ledger epoch annotation
     self.sync();
   }
 }
@@ -111,6 +114,7 @@ template <typename T, typename Op>
 T exscan(splitc::Proc& self, splitc::Spread<T>& slots, T my_value, Op op) {
   HISTCC_REQUIRE(slots.per_proc() >= 1, "spread blocks too small");
   slots.local(self)[0] = my_value;
+  slots.note_local_write(self, 0, 1);  // race-ledger epoch annotation
   self.barrier();  // publish values
   T acc{};
   for (std::uint32_t r = 0; r < self.rank(); ++r) {

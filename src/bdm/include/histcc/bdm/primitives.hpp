@@ -58,6 +58,7 @@ void transpose(splitc::Proc& self, splitc::Spread<T>& dst,
     src.prefetch(self, mine.subspan(static_cast<std::size_t>(r) * blk, blk),
                  r, static_cast<std::size_t>(i) * blk, blk);
   }
+  dst.note_local_write(self, 0, q);  // race-ledger epoch annotation
   self.sync();
 }
 
@@ -81,6 +82,7 @@ void truncated_transpose(splitc::Proc& self, splitc::Spread<T>& dst,
       const std::uint32_t r = (i + loop) % p;
       src.prefetch(self, mine.subspan(r, 1), r, i, 1);
     }
+    dst.note_local_write(self, 0, p);  // race-ledger epoch annotation
   }
   self.sync();
 }
@@ -121,6 +123,7 @@ void broadcast(splitc::Proc& self, splitc::Spread<T>& dst,
       scratch.prefetch(self, mine.subspan(static_cast<std::size_t>(r) * blk, blk),
                        r, 0, blk);
     }
+    dst.note_local_write(self, 0, q);  // race-ledger epoch annotation
     self.sync();
   }
 }
@@ -153,6 +156,8 @@ void gather_to_root(splitc::Proc& self, splitc::Spread<T>& dst,
                                       per_block),
                    r, src_off, per_block);
     }
+    // race-ledger epoch annotation
+    dst.note_local_write(self, 0, per_block * nblocks);
   }
   self.sync();
 }
@@ -184,6 +189,7 @@ std::size_t scatter_group(splitc::Proc& self,
   auto& mine = stage.local(self);
   mine.resize(my_len);
   data.prefetch(self, std::span<T>(mine), root, my_off, my_len);
+  stage.note_local_write(self);  // race-ledger epoch annotation
   self.sync();
   return my_len;
 }

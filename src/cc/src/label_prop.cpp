@@ -34,10 +34,10 @@ img::LabelImage connected_components_label_prop(splitc::Machine& machine,
   const std::uint32_t w = layout.grid_cols();
   const auto lines = line_offsets(q, r);
 
-  splitc::Spread<std::uint32_t> labels(machine, layout.tile_size());
-  splitc::Spread<std::uint32_t> line_lb(machine, lines.total);
-  splitc::Spread<std::uint8_t> line_px(machine, lines.total);
-  splitc::Spread<std::uint32_t> flags(machine, 1);
+  splitc::Spread<std::uint32_t> labels(machine, layout.tile_size(), "labels");
+  splitc::Spread<std::uint32_t> line_lb(machine, lines.total, "line_lb");
+  splitc::Spread<std::uint8_t> line_px(machine, lines.total, "line_px");
+  splitc::Spread<std::uint32_t> flags(machine, 1, "flags");
 
   std::uint32_t rounds = 0;
 
@@ -98,6 +98,9 @@ img::LabelImage connected_components_label_prop(splitc::Machine& machine,
           plb[lines.east + i] = current_label(west + r - 1);
           ppx[lines.east + i] = my_px[west + r - 1];
         }
+        // race-ledger epoch annotations
+        line_lb.note_local_write(self);
+        line_px.note_local_write(self);
       }
       self.barrier();  // publish lines (and, on later rounds, order flag
                        // reads before this round's flag writes)
@@ -192,6 +195,7 @@ img::LabelImage connected_components_label_prop(splitc::Machine& machine,
       }
       self.charge_ops(2ull * 9 * (q + r));  // up to 8 neighbours + bookkeeping
       flags.local(self)[0] = changed ? 1u : 0u;
+      flags.note_local_write(self, 0, 1);  // race-ledger epoch annotation
       self.barrier();  // publish flags
 
       // Step 4: global fixpoint test (every processor reads all flags).
@@ -211,6 +215,7 @@ img::LabelImage connected_components_label_prop(splitc::Machine& machine,
     for (std::size_t idx = 0; idx < layout.tile_size(); ++idx) {
       out[idx] = current_label(idx);
     }
+    labels.note_local_write(self);  // race-ledger epoch annotation
     self.barrier();
   });
 

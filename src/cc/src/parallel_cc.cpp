@@ -58,13 +58,13 @@ void connected_components_parallel(splitc::Machine& machine,
   const auto schedule = merge_schedule(grid);
 
   // Distributed state shared by the SPMD program.
-  splitc::SpreadVec<std::uint8_t> pack_px(machine);    // packed border pixels
-  splitc::SpreadVec<std::uint32_t> pack_lb(machine);   // packed border labels
-  splitc::SpreadVec<std::uint8_t> agg_px(machine);     // shadow's far side
-  splitc::SpreadVec<std::uint32_t> agg_lb(machine);
-  splitc::SpreadVec<std::uint32_t> agg_sorted(machine);
-  splitc::SpreadVec<ChangePair> chg(machine);          // manager's change list
-  splitc::SpreadVec<ChangePair> stage(machine);        // eq. (9) staging
+  splitc::SpreadVec<std::uint8_t> pack_px(machine, "pack_px");   // packed border pixels
+  splitc::SpreadVec<std::uint32_t> pack_lb(machine, "pack_lb");  // packed border labels
+  splitc::SpreadVec<std::uint8_t> agg_px(machine, "agg_px");     // shadow's far side
+  splitc::SpreadVec<std::uint32_t> agg_lb(machine, "agg_lb");
+  splitc::SpreadVec<std::uint32_t> agg_sorted(machine, "agg_sorted");
+  splitc::SpreadVec<ChangePair> chg(machine, "chg");        // manager's change list
+  splitc::SpreadVec<ChangePair> stage(machine, "stage");    // eq. (9) staging
 
   CcPhases local_phases;
   local_phases.merge_phases = static_cast<std::uint32_t>(schedule.size());
@@ -88,6 +88,7 @@ void connected_components_parallel(splitc::Machine& machine,
         st.bfs);
     st.border_offsets = tile_border_offsets(q, r);
     st.hooks = make_tile_hooks(my_px, my_lb, st.border_offsets);
+    labels.note_local_write(self);  // race-ledger epoch annotation
     self.charge_ops(kOpsPerLabeledPixel * layout.tile_size());
     self.barrier();
     if (timing) local_phases.init_s = timer.seconds();
@@ -134,6 +135,9 @@ void connected_components_parallel(splitc::Machine& machine,
             plb.assign(my_lb.begin(), my_lb.begin() + r);
           }
         }
+        // race-ledger epoch annotations (cover the clear() case too)
+        pack_px.note_local_write(self);
+        pack_lb.note_local_write(self);
       }
       self.barrier();  // publish packed strips
 
@@ -184,6 +188,10 @@ void connected_components_parallel(splitc::Machine& machine,
         agg_px.local(self) = st.hi_px;
         agg_lb.local(self) = st.hi_lb;
         agg_sorted.local(self) = st.hi_sorted;
+        // race-ledger epoch annotations
+        agg_px.note_local_write(self);
+        agg_lb.note_local_write(self);
+        agg_sorted.note_local_write(self);
         self.charge_ops(kOpsPerSortedBorderElem * side_len);
       }
       // Without a shadow manager the group manager fetches and sorts both
@@ -215,6 +223,7 @@ void connected_components_parallel(splitc::Machine& machine,
                                   st.hi_sorted, options.connectivity,
                                   options.rule);
         chg.local(self) = st.changes;
+        chg.note_local_write(self);  // race-ledger epoch annotation
         self.charge_ops(kOpsPerMergedBorderElem * side_len);
       }
       self.barrier();  // publish change array
@@ -249,6 +258,7 @@ void connected_components_parallel(splitc::Machine& machine,
         update_border_labels(my_lb, my_px, st.border_offsets, st.changes);
         self.charge_ops(kOpsPerBorderUpdate * st.border_offsets.size());
       }
+      labels.note_local_write(self);  // race-ledger epoch annotation
       self.barrier();  // end of merge iteration
       if (timing) local_phases.update_s += timer.seconds();
     }
@@ -258,6 +268,7 @@ void connected_components_parallel(splitc::Machine& machine,
     if (!options.full_relabel_each_phase) {
       relabel_interior(my_lb, q, r, st.hooks, options.connectivity,
                        st.visited);
+      labels.note_local_write(self);  // race-ledger epoch annotation
       self.charge_ops(kOpsPerRelabeledPixel * layout.tile_size());
     }
     self.barrier();
@@ -272,7 +283,7 @@ img::LabelImage connected_components_parallel(splitc::Machine& machine,
                                               splitc::Spread<std::uint8_t>& tiles,
                                               const CcOptions& options,
                                               CcPhases* phases) {
-  splitc::Spread<std::uint32_t> labels(machine, layout.tile_size());
+  splitc::Spread<std::uint32_t> labels(machine, layout.tile_size(), "labels");
   connected_components_parallel(machine, layout, tiles, labels, options,
                                 phases);
   return layout.gather(labels);
@@ -283,7 +294,7 @@ img::LabelImage connected_components_parallel(splitc::Machine& machine,
                                               const CcOptions& options,
                                               CcPhases* phases) {
   const img::TileLayout layout(image.height(), machine.nprocs());
-  splitc::Spread<std::uint8_t> tiles(machine, layout.tile_size());
+  splitc::Spread<std::uint8_t> tiles(machine, layout.tile_size(), "tiles");
   layout.scatter(image, tiles);
   return connected_components_parallel(machine, layout, tiles, options,
                                        phases);

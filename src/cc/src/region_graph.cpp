@@ -80,7 +80,7 @@ std::vector<RegionEdge> region_adjacency_parallel(
   const bool eight = conn == ccseq::Connectivity::kEight;
 
   img::HaloExchangerT<std::uint32_t> halos(machine, layout);
-  splitc::SpreadVec<RegionEdge> partial(machine);
+  splitc::SpreadVec<RegionEdge> partial(machine, "rag_partial");
   std::vector<RegionEdge> merged;
 
   machine.run([&](splitc::Proc& self) {
@@ -97,6 +97,7 @@ std::vector<RegionEdge> region_adjacency_parallel(
     forward_scan(halo.data(), halos.halo_cols(), layout.tile_rows(),
                  layout.tile_cols(), eight, mine);
     dedupe(mine);
+    partial.note_local_write(self);  // race-ledger epoch annotation
     self.charge_ops((eight ? 4ull : 2ull) * layout.tile_size());
     self.barrier();  // publish partial edge lists
 

@@ -17,9 +17,9 @@ img::LabelImage connected_components_replicated(splitc::Machine& machine,
   HISTCC_REQUIRE(total % p == 0, "p must divide n^2");
 
   // The whole image starts on processor 0 and is broadcast to everyone.
-  splitc::Spread<std::uint8_t> src(machine, total);
-  splitc::Spread<std::uint8_t> replica(machine, total);
-  splitc::Spread<std::uint8_t> scratch(machine, total);
+  splitc::Spread<std::uint8_t> src(machine, total, "img_src");
+  splitc::Spread<std::uint8_t> replica(machine, total, "img_replica");
+  splitc::Spread<std::uint8_t> scratch(machine, total, "img_scratch");
   std::copy(image.pixels().begin(), image.pixels().end(),
             src.block(0).begin());
 

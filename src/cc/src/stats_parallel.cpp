@@ -21,7 +21,8 @@ std::vector<ccseq::ComponentStats> component_stats_parallel(
   const std::uint32_t q = layout.tile_rows();
   const std::uint32_t r = layout.tile_cols();
 
-  splitc::SpreadVec<ccseq::ComponentStats> partials(machine);
+  splitc::SpreadVec<ccseq::ComponentStats> partials(machine,
+                                                    "stats_partials");
   std::vector<ccseq::ComponentStats> merged;
 
   machine.run([&](splitc::Proc& self) {
@@ -62,6 +63,7 @@ std::vector<ccseq::ComponentStats> component_stats_parallel(
     // Sort so the merged gather is deterministic regardless of hash order.
     sortutil::hybrid_sort_by(
         mine, [](const ccseq::ComponentStats& s) { return s.label; });
+    partials.note_local_write(self);  // race-ledger epoch annotation
     self.charge_ops(2 * layout.tile_size());
     self.barrier();  // publish partials
 

@@ -55,9 +55,9 @@ void equalize_parallel(splitc::Machine& machine, const img::TileLayout& layout,
       static_cast<std::uint64_t>(layout.n()) * layout.n();
   const auto map = equalization_map(counts, total);
 
-  splitc::Spread<std::uint8_t> table_src(machine, k);
-  splitc::Spread<std::uint8_t> table(machine, k);
-  splitc::Spread<std::uint8_t> scratch(machine, k);
+  splitc::Spread<std::uint8_t> table_src(machine, k, "eq_table_src");
+  splitc::Spread<std::uint8_t> table(machine, k, "eq_table");
+  splitc::Spread<std::uint8_t> scratch(machine, k, "eq_scratch");
   std::copy(map.begin(), map.end(), table_src.block(0).begin());
 
   machine.run([&](splitc::Proc& self) {
@@ -68,6 +68,7 @@ void equalize_parallel(splitc::Machine& machine, const img::TileLayout& layout,
     for (std::size_t idx = 0; idx < count; ++idx) {
       px[idx] = my_map[px[idx]];
     }
+    tiles.note_local_write(self);  // race-ledger epoch annotation
     self.charge_ops(count);
   });
 }

@@ -40,15 +40,17 @@ std::vector<std::uint32_t> histogram_parallel(splitc::Machine& machine,
   const std::uint32_t p = machine.nprocs();
 
   // H_i[0..k): each processor's local tally.
-  splitc::Spread<std::uint32_t> local_h(machine, k);
+  splitc::Spread<std::uint32_t> local_h(machine, k, "local_h");
   // Transpose destination: k/p-row blocks when k >= p, one full row (p
   // partial counts) when k < p.
   const std::size_t bars_per_proc = std::max<std::size_t>(k / p, 1);
-  splitc::Spread<std::uint32_t> trans(machine, std::max<std::size_t>(k, p));
+  splitc::Spread<std::uint32_t> trans(machine, std::max<std::size_t>(k, p),
+                                      "hist_trans");
   // Combined bars, ready for collection.
-  splitc::Spread<std::uint32_t> combined(machine, bars_per_proc);
+  splitc::Spread<std::uint32_t> combined(machine, bars_per_proc,
+                                         "hist_combined");
   // The k-bar histogram, assembled on P0.
-  splitc::Spread<std::uint32_t> result(machine, k);
+  splitc::Spread<std::uint32_t> result(machine, k, "hist_result");
 
   HistPhases local_phases;
   machine.run([&](splitc::Proc& self) {
@@ -64,6 +66,7 @@ std::vector<std::uint32_t> histogram_parallel(splitc::Machine& machine,
         HISTCC_REQUIRE(px[idx] < k, "pixel value exceeds grey-level count");
         ++h[px[idx]];
       }
+      local_h.note_local_write(self);  // race-ledger epoch annotation
       self.charge_ops(count);
       self.barrier();
       if (timing) local_phases.tally_s = timer.seconds();
@@ -94,11 +97,13 @@ std::vector<std::uint32_t> histogram_parallel(splitc::Machine& machine,
           }
           out[j] = sum;
         }
+        combined.note_local_write(self, 0, blk);  // race-ledger annotation
         self.charge_ops(k);
       } else if (self.rank() < k) {
         std::uint32_t sum = 0;
         for (std::uint32_t r = 0; r < p; ++r) sum += in[r];
         out[0] = sum;
+        combined.note_local_write(self, 0, 1);  // race-ledger annotation
         self.charge_ops(p);
       }
       self.barrier();

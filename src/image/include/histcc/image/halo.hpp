@@ -31,7 +31,8 @@ class HaloExchangerT {
  public:
   HaloExchangerT(splitc::Machine& machine, const TileLayout& layout)
       : layout_(layout),
-        lines_(machine, 2ull * (layout.tile_rows() + layout.tile_cols())) {}
+        lines_(machine, 2ull * (layout.tile_rows() + layout.tile_cols()),
+               "halo_lines") {}
 
   /// Rows of the halo buffer: q + 2.
   [[nodiscard]] std::uint32_t halo_rows() const noexcept {
@@ -70,6 +71,7 @@ class HaloExchangerT {
         mine[west + i] = my_px[static_cast<std::size_t>(i) * r];
         mine[east + i] = my_px[static_cast<std::size_t>(i) * r + r - 1];
       }
+      lines_.note_local_write(self);  // race-ledger epoch annotation
     }
     self.barrier();  // publish lines
 

@@ -49,6 +49,7 @@ class Barrier {
     if (++waiting_ == participants_) {
       waiting_ = 0;
       sense_ = !sense_;
+      ++generation_;
       cv_.notify_all();
       return;
     }
@@ -70,17 +71,27 @@ class Barrier {
     aborted_ = false;
     waiting_ = 0;
     sense_ = false;
+    generation_ = 0;
   }
 
   [[nodiscard]] std::uint32_t participants() const noexcept {
     return participants_;
   }
 
+  /// Completed barrier episodes since the last reset().  Equal to
+  /// `Proc::epoch() - 1` on every processor between two episodes; the race
+  /// ledger's epoch numbering is anchored to this count.
+  [[nodiscard]] std::uint64_t generation() const {
+    std::scoped_lock lock(mutex_);
+    return generation_;
+  }
+
  private:
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::uint32_t participants_;
   std::uint32_t waiting_ = 0;
+  std::uint64_t generation_ = 0;
   bool sense_ = false;
   bool aborted_ = false;
 };

@@ -32,6 +32,13 @@
 namespace histcc::splitc {
 
 class Machine;
+class RaceLedger;
+
+/// What Machine::run does when the race ledger recorded conflicts.
+enum class RacePolicy : std::uint8_t {
+  kThrow,   ///< rethrow as RaceLedgerViolation after the program finishes
+  kRecord,  ///< only record; inspect via Machine::race_ledger_registry()
+};
 
 /// Per-processor handle passed to the SPMD program.  One `Proc` exists per
 /// virtual processor for the duration of `Machine::run`; all its methods
@@ -69,6 +76,12 @@ class Proc {
   /// ledger, charging tau + l for the l words prefetched since the last
   /// sync.
   void sync() noexcept;
+
+  /// My barrier epoch: 1 on entry to the SPMD program, +1 per barrier()
+  /// crossed.  Between two consecutive global barriers every processor is
+  /// in the same epoch, which is what the race ledger's happens-before
+  /// check keys on (race_ledger.hpp).
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
 
   /// My communication ledger.
   [[nodiscard]] CommStats& stats() noexcept { return *stats_; }
@@ -113,6 +126,7 @@ class Proc {
   CommStats* stats_;
   std::atomic<std::uint64_t>* served_;
   std::uint64_t pending_words_ = 0;
+  std::uint64_t epoch_ = 1;
 };
 
 /// A virtual distributed-memory machine with p processors (p a power of
@@ -122,6 +136,7 @@ class Machine {
  public:
   /// \param nprocs number of virtual processors; must be a power of two.
   explicit Machine(std::uint32_t nprocs);
+  ~Machine();
 
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;
@@ -159,12 +174,48 @@ class Machine {
   /// Zero all ledgers (run() also does this on entry).
   void reset_stats() noexcept;
 
+  /// True when the library was compiled with -DHISTCC_RACE_LEDGER=ON and
+  /// the per-element shadow instrumentation exists at all.
+  [[nodiscard]] static constexpr bool race_ledger_compiled() noexcept {
+#if HISTCC_RACE_LEDGER
+    return true;
+#else
+    return false;
+#endif
+  }
+
+  /// Runtime switch for the race ledger (default: enabled when compiled
+  /// in).  A no-op in builds without HISTCC_RACE_LEDGER.
+  void set_race_ledger_enabled(bool enabled) noexcept {
+    race_ledger_enabled_ = enabled && race_ledger_compiled();
+  }
+
+  /// What run() does when conflicts were recorded (default kThrow).
+  void set_race_policy(RacePolicy policy) noexcept { race_policy_ = policy; }
+
+  /// The checker, or nullptr when compiled out or disabled at runtime.
+  /// This is the hot-path guard the Spread instrumentation uses.
+  [[nodiscard]] RaceLedger* race_ledger() const noexcept {
+    return race_ledger_enabled_ ? race_ledger_.get() : nullptr;
+  }
+
+  /// The checker object itself regardless of the runtime switch (nullptr
+  /// only when compiled out).  Spread constructors attach shadows here so
+  /// that toggling the switch mid-lifetime still checks every array;
+  /// tests use it to inspect diagnostics under RacePolicy::kRecord.
+  [[nodiscard]] RaceLedger* race_ledger_registry() const noexcept {
+    return race_ledger_.get();
+  }
+
  private:
   std::uint32_t nprocs_;
   util::GridShape grid_;
   Barrier barrier_;
   std::vector<CommStats> stats_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> served_;
+  std::unique_ptr<RaceLedger> race_ledger_;
+  bool race_ledger_enabled_ = false;
+  RacePolicy race_policy_ = RacePolicy::kThrow;
   bool running_ = false;
 };
 

@@ -65,6 +65,12 @@ struct MachineProfile {
 /// "Paragon", "host"); returns host() for unknown names.
 [[nodiscard]] MachineProfile profile_by_name(std::string_view name) noexcept;
 
+/// One-line description of the correctness instrumentation compiled into
+/// this build (race ledger, AddressSanitizer, ThreadSanitizer), e.g.
+/// "analysis: race-ledger" or "analysis: none".  tools/check.sh and the
+/// test logs print it so a matrix run is self-identifying.
+[[nodiscard]] std::string_view build_analysis_info() noexcept;
+
 }  // namespace histcc::splitc
 
 #endif  // HISTCC_SPLITC_PROFILE_HPP

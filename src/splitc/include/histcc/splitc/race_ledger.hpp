@@ -1,0 +1,167 @@
+#ifndef HISTCC_SPLITC_RACE_LEDGER_HPP
+#define HISTCC_SPLITC_RACE_LEDGER_HPP
+
+/// \file race_ledger.hpp
+/// Barrier-epoch happens-before checking for the SPMD runtime.
+///
+/// The paper's algorithms are race-free by a *protocol*: a processor may
+/// read remote data only if its owner last wrote it before a barrier both
+/// processors have since crossed (docs/runtime.md, "publication
+/// discipline").  ThreadSanitizer can only observe one physical
+/// interleaving per run, so a protocol violation that happens to be
+/// serialized by scheduling luck goes unreported.  The race ledger checks
+/// the protocol itself: every element access performed through a
+/// `Spread`/`SpreadVec` records (rank, barrier epoch, read/write) in a
+/// shadow ledger, and two accesses to the same element from different
+/// ranks in the same epoch — at least one a write — are a conflict no
+/// matter how the OS scheduled the threads.  Detection is therefore
+/// deterministic: if a schedule exists under which the accesses race, the
+/// ledger reports it on every run.
+///
+/// The ledger sees transfers issued through the Spread API and the
+/// explicit `note_local_write` / `note_local_read` annotations algorithms
+/// place around direct writes to their `local()` span.  A missing
+/// annotation can hide a race (no record, no conflict) but can never
+/// invent one, so the checker is sound against false positives by
+/// construction.
+///
+/// Compiled in only under the `HISTCC_RACE_LEDGER` CMake option (a PUBLIC
+/// compile definition of the splitc target); release builds pay zero
+/// cost.  Within an instrumented build, `Machine::set_race_ledger_enabled`
+/// is the runtime switch.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace histcc::splitc {
+
+/// Kind of element access recorded in the shadow ledger.
+enum class RaceAccess : std::uint8_t { kRead, kWrite };
+
+[[nodiscard]] constexpr const char* to_string(RaceAccess a) noexcept {
+  return a == RaceAccess::kRead ? "read" : "write";
+}
+
+/// One detected protocol violation: two accesses to the same element of
+/// the same distributed array, from different ranks, in the same barrier
+/// epoch, at least one of them a write.
+struct RaceDiagnostic {
+  std::string array;        ///< name given at Spread construction
+  std::uint32_t owner = 0;  ///< rank owning the block the element lives in
+  std::size_t offset = 0;   ///< element offset within the owner's block
+  std::uint64_t epoch = 0;  ///< barrier epoch both accesses fall in
+  std::uint32_t first_rank = 0;
+  RaceAccess first_kind = RaceAccess::kWrite;
+  std::uint32_t second_rank = 0;
+  RaceAccess second_kind = RaceAccess::kWrite;
+
+  /// "array 'chg' element 12 (block of rank 3): write by rank 1 conflicts
+  ///  with read by rank 0 in epoch 5 (no barrier between the accesses)"
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Thrown from Machine::run when the ledger recorded conflicts and the
+/// machine's policy is RacePolicy::kThrow.
+class RaceLedgerViolation : public std::runtime_error {
+ public:
+  explicit RaceLedgerViolation(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Per-array shadow state: one (last write, last reads) cell per element
+/// of every rank's block.  Owned jointly by the Spread that registered it
+/// and the RaceLedger (diagnostics may outlive the array).
+class ArrayShadow {
+ public:
+  ArrayShadow(std::string name, std::uint32_t nprocs)
+      : name_(std::move(name)), cells_(nprocs) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  friend class RaceLedger;
+
+  /// Epoch value meaning "never accessed".  Real epochs start at 1.
+  static constexpr std::uint64_t kNever = 0;
+
+  struct Cell {
+    std::uint64_t write_epoch = kNever;
+    std::uint32_t write_rank = 0;
+    std::uint64_t read_epoch = kNever;
+    std::uint32_t read_rank = 0;
+    bool read_shared = false;  ///< >1 distinct rank read in read_epoch
+  };
+
+  std::string name_;
+  std::mutex mutex_;
+  std::vector<std::vector<Cell>> cells_;  ///< [owner rank][element]
+};
+
+/// The machine-wide checker: registry of array shadows plus the conflict
+/// log.  Thread-safe; every method may be called from any virtual
+/// processor's thread.
+class RaceLedger {
+ public:
+  explicit RaceLedger(std::uint32_t nprocs) : nprocs_(nprocs) {}
+
+  RaceLedger(const RaceLedger&) = delete;
+  RaceLedger& operator=(const RaceLedger&) = delete;
+
+  /// Register a distributed array; called from Spread/SpreadVec
+  /// constructors (host side, before Machine::run).
+  [[nodiscard]] std::shared_ptr<ArrayShadow> attach(std::string name);
+
+  /// Record `len` element accesses [off, off+len) in `owner`'s block of
+  /// the array behind `shadow`, performed by `rank` in barrier `epoch`.
+  /// Detected conflicts are appended to the diagnostic log.
+  void record(ArrayShadow& shadow, std::uint32_t owner, std::size_t off,
+              std::size_t len, std::uint32_t rank, std::uint64_t epoch,
+              RaceAccess kind);
+
+  /// Clear all shadow cells and diagnostics; Machine::run calls this on
+  /// entry so consecutive SPMD programs don't see each other's accesses.
+  void reset();
+
+  /// Conflicts recorded since the last reset (capped at kMaxDiagnostics;
+  /// conflict_count() keeps the true total).
+  [[nodiscard]] std::vector<RaceDiagnostic> diagnostics() const;
+
+  /// Total conflicts since the last reset, including ones past the cap.
+  [[nodiscard]] std::uint64_t conflict_count() const noexcept;
+
+  /// Element checks performed since the last reset.
+  [[nodiscard]] std::uint64_t check_count() const noexcept;
+
+  /// Multi-line human-readable report of all retained diagnostics
+  /// (empty string when there are none).
+  [[nodiscard]] std::string format_report() const;
+
+  /// Retain at most this many full diagnostics (the count is exact).
+  static constexpr std::size_t kMaxDiagnostics = 64;
+
+ private:
+  void log_conflict(const ArrayShadow& shadow, std::uint32_t owner,
+                    std::size_t off, std::uint64_t epoch,
+                    std::uint32_t first_rank, RaceAccess first_kind,
+                    std::uint32_t second_rank, RaceAccess second_kind);
+
+  std::uint32_t nprocs_;
+
+  mutable std::mutex registry_mutex_;
+  std::vector<std::shared_ptr<ArrayShadow>> arrays_;
+
+  mutable std::mutex log_mutex_;
+  std::vector<RaceDiagnostic> log_;
+  std::uint64_t conflicts_ = 0;
+  std::atomic<std::uint64_t> checks_{0};
+};
+
+}  // namespace histcc::splitc
+
+#endif  // HISTCC_SPLITC_RACE_LEDGER_HPP

@@ -21,11 +21,16 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <limits>
+#include <memory>
 #include <span>
+#include <string>
+#include <string_view>
 #include <type_traits>
 #include <vector>
 
 #include "histcc/splitc/machine.hpp"
+#include "histcc/splitc/race_ledger.hpp"
 #include "histcc/util/require.hpp"
 
 namespace histcc::splitc {
@@ -37,22 +42,74 @@ template <typename T>
 constexpr std::uint64_t words_per_element() noexcept {
   return (sizeof(T) + 3) / 4;
 }
+
+/// Shared race-ledger plumbing of Spread and SpreadVec.  In builds without
+/// HISTCC_RACE_LEDGER every member below compiles to nothing the optimizer
+/// keeps: `shadow_` stays null and `record` is an empty inline function.
+class ShadowBase {
+ public:
+  /// Name given at construction (appears in race diagnostics).
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ protected:
+  ShadowBase(Machine& machine, std::string_view name)
+      : machine_(&machine), name_(name) {
+#if HISTCC_RACE_LEDGER
+    if (auto* registry = machine.race_ledger_registry()) {
+      shadow_ = registry->attach(name_);
+    }
+#endif
+  }
+
+  /// Record `len` accesses at [off, off+len) of `owner`'s block by the
+  /// calling processor in its current barrier epoch.
+  void record(Proc& self, std::uint32_t owner, std::size_t off,
+              std::size_t len, RaceAccess kind) {
+#if HISTCC_RACE_LEDGER
+    if (auto* ledger = machine_->race_ledger(); ledger && shadow_) {
+      self.stats().ledger_checks += len;
+      ledger->record(*shadow_, owner, off, len, self.rank(), self.epoch(),
+                     kind);
+    }
+#else
+    (void)self;
+    (void)owner;
+    (void)off;
+    (void)len;
+    (void)kind;
+#endif
+  }
+
+  Machine* machine_;
+  std::string name_;
+  std::shared_ptr<ArrayShadow> shadow_;
+};
 }  // namespace detail
+
+/// Passing this as `len` to note_local_write/note_local_read means "to the
+/// end of the block".
+inline constexpr std::size_t kWholeBlock =
+    std::numeric_limits<std::size_t>::max();
 
 /// Fixed-size distributed array: `per_proc` elements owned by each of the
 /// machine's processors.  Construct on the host (outside `Machine::run`),
 /// use from inside the SPMD program.
 template <typename T>
-class Spread {
+class Spread : public detail::ShadowBase {
   static_assert(std::is_trivially_copyable_v<T>,
                 "Spread elements cross the (virtual) network; they must be "
                 "trivially copyable");
 
  public:
   /// Allocate a block of `per_proc` elements on every processor,
-  /// value-initialized.
-  Spread(Machine& machine, std::size_t per_proc)
-      : nprocs_(machine.nprocs()), per_proc_(per_proc), blocks_(nprocs_) {
+  /// value-initialized.  `name` identifies the array in race-ledger
+  /// diagnostics.
+  Spread(Machine& machine, std::size_t per_proc,
+         std::string_view name = "Spread")
+      : detail::ShadowBase(machine, name),
+        nprocs_(machine.nprocs()),
+        per_proc_(per_proc),
+        blocks_(nprocs_) {
     for (auto& b : blocks_) b.assign(per_proc_, T{});
   }
 
@@ -88,6 +145,7 @@ class Spread {
     HISTCC_REQUIRE(src_off + len <= per_proc_, "source range out of bounds");
     HISTCC_REQUIRE(dst.size() >= len, "destination too small");
     if (len == 0) return;
+    record(self, src_rank, src_off, len, RaceAccess::kRead);
     std::memcpy(dst.data(), blocks_[src_rank].data() + src_off,
                 len * sizeof(T));
     if (src_rank != self.rank()) {
@@ -104,6 +162,7 @@ class Spread {
     HISTCC_REQUIRE(dst_off + src.size() <= per_proc_,
                    "destination range out of bounds");
     if (src.empty()) return;
+    record(self, dst_rank, dst_off, src.size(), RaceAccess::kWrite);
     std::memcpy(blocks_[dst_rank].data() + dst_off, src.data(),
                 src.size() * sizeof(T));
     if (dst_rank != self.rank()) {
@@ -115,6 +174,7 @@ class Spread {
   [[nodiscard]] T get(Proc& self, std::uint32_t rank, std::size_t off) {
     HISTCC_REQUIRE(rank < nprocs_, "rank out of range");
     HISTCC_REQUIRE(off < per_proc_, "offset out of bounds");
+    record(self, rank, off, 1, RaceAccess::kRead);
     if (rank != self.rank()) {
       self.charge_transfer(rank, detail::words_per_element<T>());
     }
@@ -125,10 +185,33 @@ class Spread {
   void put(Proc& self, std::uint32_t rank, std::size_t off, T value) {
     HISTCC_REQUIRE(rank < nprocs_, "rank out of range");
     HISTCC_REQUIRE(off < per_proc_, "offset out of bounds");
+    record(self, rank, off, 1, RaceAccess::kWrite);
     if (rank != self.rank()) {
       self.charge_transfer(rank, detail::words_per_element<T>());
     }
     blocks_[rank][off] = value;
+  }
+
+  /// Race-ledger epoch annotation: the calling processor wrote
+  /// [off, off+len) of its own block directly through the local() span in
+  /// the current epoch.  Place it next to the writes it describes, before
+  /// the barrier that publishes them.  No-op without HISTCC_RACE_LEDGER.
+  void note_local_write(Proc& self, std::size_t off = 0,
+                        std::size_t len = kWholeBlock) {
+    HISTCC_REQUIRE(off <= per_proc_, "annotation offset out of bounds");
+    if (len == kWholeBlock) len = per_proc_ - off;
+    HISTCC_REQUIRE(off + len <= per_proc_, "annotation range out of bounds");
+    record(self, self.rank(), off, len, RaceAccess::kWrite);
+  }
+
+  /// Same for direct reads of the local block (rarely needed: reading
+  /// one's own data races only with a remote put in the same epoch).
+  void note_local_read(Proc& self, std::size_t off = 0,
+                       std::size_t len = kWholeBlock) {
+    HISTCC_REQUIRE(off <= per_proc_, "annotation offset out of bounds");
+    if (len == kWholeBlock) len = per_proc_ - off;
+    HISTCC_REQUIRE(off + len <= per_proc_, "annotation range out of bounds");
+    record(self, self.rank(), off, len, RaceAccess::kRead);
   }
 
  private:
@@ -141,11 +224,12 @@ class Spread {
 /// resize.  Peers may only read a block that its owner last resized before
 /// a barrier both have crossed (the usual SPMD publication discipline).
 template <typename T>
-class SpreadVec {
+class SpreadVec : public detail::ShadowBase {
   static_assert(std::is_trivially_copyable_v<T>);
 
  public:
-  explicit SpreadVec(Machine& machine) : blocks_(machine.nprocs()) {}
+  explicit SpreadVec(Machine& machine, std::string_view name = "SpreadVec")
+      : detail::ShadowBase(machine, name), blocks_(machine.nprocs()) {}
 
   [[nodiscard]] std::uint32_t nprocs() const noexcept {
     return static_cast<std::uint32_t>(blocks_.size());
@@ -177,11 +261,25 @@ class SpreadVec {
                    "source range out of bounds");
     HISTCC_REQUIRE(dst.size() >= len, "destination too small");
     if (len == 0) return;
+    record(self, src_rank, src_off, len, RaceAccess::kRead);
     std::memcpy(dst.data(), blocks_[src_rank].data() + src_off,
                 len * sizeof(T));
     if (src_rank != self.rank()) {
       self.charge_transfer(src_rank, len * detail::words_per_element<T>());
     }
+  }
+
+  /// Race-ledger epoch annotation: the calling processor resized and/or
+  /// wrote [off, off+len) of its own block in the current epoch (default:
+  /// the whole current contents).  Place it after the writes, before the
+  /// publishing barrier.  No-op without HISTCC_RACE_LEDGER.
+  void note_local_write(Proc& self, std::size_t off = 0,
+                        std::size_t len = kWholeBlock) {
+    const std::size_t size = blocks_[self.rank()].size();
+    HISTCC_REQUIRE(off <= size, "annotation offset out of bounds");
+    if (len == kWholeBlock) len = size - off;
+    HISTCC_REQUIRE(off + len <= size, "annotation range out of bounds");
+    record(self, self.rank(), off, len, RaceAccess::kWrite);
   }
 
  private:

@@ -25,6 +25,10 @@ struct CommStats {
   std::uint64_t syncs = 0;      ///< sync() calls (incl. empty ones)
   std::uint64_t barriers = 0;   ///< barrier() calls
   std::uint64_t local_ops = 0;  ///< optional Tcomp meter (charge_ops)
+  /// Element accesses this processor pushed through the race-ledger
+  /// shadow check (always 0 in builds without HISTCC_RACE_LEDGER).
+  /// Never part of modeled time — it meters the checker, not the program.
+  std::uint64_t ledger_checks = 0;
 
   /// Elementwise sum; used to aggregate across processors.
   CommStats& operator+=(const CommStats& o) noexcept {
@@ -34,6 +38,7 @@ struct CommStats {
     syncs += o.syncs;
     barriers += o.barriers;
     local_ops += o.local_ops;
+    ledger_checks += o.ledger_checks;
     return *this;
   }
 
@@ -46,6 +51,7 @@ struct CommStats {
     if (o.syncs > syncs) syncs = o.syncs;
     if (o.barriers > barriers) barriers = o.barriers;
     if (o.local_ops > local_ops) local_ops = o.local_ops;
+    if (o.ledger_checks > ledger_checks) ledger_checks = o.ledger_checks;
   }
 
   /// Modeled Tcomm in seconds under the given machine profile.  Barriers are

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <thread>
 
+#include "histcc/splitc/race_ledger.hpp"
 #include "histcc/util/require.hpp"
 
 namespace histcc::splitc {
@@ -21,6 +22,9 @@ void Proc::barrier() {
   sync();
   stats_->barriers += 1;
   barrier_->arrive_and_wait();
+  // Crossing a global barrier starts a new epoch on every processor; the
+  // race ledger treats accesses in distinct epochs as ordered.
+  epoch_ += 1;
 }
 
 Machine::Machine(std::uint32_t nprocs)
@@ -32,8 +36,14 @@ Machine::Machine(std::uint32_t nprocs)
   HISTCC_REQUIRE(nprocs >= 1 && util::is_pow2(nprocs),
                  "processor count must be a power of two");
   grid_ = util::grid_shape(nprocs);
+#if HISTCC_RACE_LEDGER
+  race_ledger_ = std::make_unique<RaceLedger>(nprocs);
+  race_ledger_enabled_ = true;
+#endif
   reset_stats();
 }
+
+Machine::~Machine() = default;
 
 void Machine::run(const std::function<void(Proc&)>& program) {
   HISTCC_REQUIRE(static_cast<bool>(program), "program must be callable");
@@ -45,11 +55,22 @@ void Machine::run(const std::function<void(Proc&)>& program) {
   } guard{&running_};
   reset_stats();
   barrier_.reset();
+  if (race_ledger_) race_ledger_->reset();
+
+  // Throws RaceLedgerViolation if the last program's accesses violated
+  // the barrier-epoch publication discipline.
+  auto check_race_ledger = [this] {
+    if (race_ledger_enabled_ && race_policy_ == RacePolicy::kThrow &&
+        race_ledger_->conflict_count() > 0) {
+      throw RaceLedgerViolation(race_ledger_->format_report());
+    }
+  };
 
   if (nprocs_ == 1) {
     // Degenerate single-processor machine: run inline, no threads.
     Proc proc(0, 1, grid_, &barrier_, &stats_[0], served_.get());
     program(proc);
+    check_race_ledger();
     return;
   }
 
@@ -79,6 +100,7 @@ void Machine::run(const std::function<void(Proc&)>& program) {
   }
   for (auto& t : threads) t.join();
   if (first_error) std::rethrow_exception(first_error);
+  check_race_ledger();
 }
 
 const CommStats& Machine::stats(std::uint32_t rank) const {

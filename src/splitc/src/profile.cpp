@@ -42,6 +42,24 @@ MachineProfile host() noexcept {
   return MachineProfile{"host", 0.5, 4000.0, 8000.0, 1.0};
 }
 
+std::string_view build_analysis_info() noexcept {
+  // Assembled at compile time; ASan and TSan are mutually exclusive, so
+  // enumerating the combinations stays readable.
+#if HISTCC_RACE_LEDGER && defined(__SANITIZE_ADDRESS__)
+  return "analysis: race-ledger+asan";
+#elif HISTCC_RACE_LEDGER && defined(__SANITIZE_THREAD__)
+  return "analysis: race-ledger+tsan";
+#elif HISTCC_RACE_LEDGER
+  return "analysis: race-ledger";
+#elif defined(__SANITIZE_ADDRESS__)
+  return "analysis: asan";
+#elif defined(__SANITIZE_THREAD__)
+  return "analysis: tsan";
+#else
+  return "analysis: none";
+#endif
+}
+
 MachineProfile profile_by_name(std::string_view name) noexcept {
   if (name == "CM-5" || name == "cm5") return cm5();
   if (name == "SP-1" || name == "sp1") return sp1();

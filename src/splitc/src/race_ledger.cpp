@@ -1,0 +1,130 @@
+#include "histcc/splitc/race_ledger.hpp"
+
+#include <sstream>
+#include <utility>
+
+namespace histcc::splitc {
+
+std::string RaceDiagnostic::to_string() const {
+  std::ostringstream os;
+  os << "array '" << array << "' element " << offset << " (block of rank "
+     << owner << "): " << splitc::to_string(first_kind) << " by rank "
+     << first_rank << " conflicts with " << splitc::to_string(second_kind)
+     << " by rank " << second_rank << " in epoch " << epoch
+     << " (no barrier between the accesses)";
+  return os.str();
+}
+
+std::shared_ptr<ArrayShadow> RaceLedger::attach(std::string name) {
+  auto shadow = std::make_shared<ArrayShadow>(std::move(name), nprocs_);
+  std::scoped_lock lock(registry_mutex_);
+  arrays_.push_back(shadow);
+  return shadow;
+}
+
+void RaceLedger::record(ArrayShadow& shadow, std::uint32_t owner,
+                        std::size_t off, std::size_t len, std::uint32_t rank,
+                        std::uint64_t epoch, RaceAccess kind) {
+  if (len == 0 || owner >= nprocs_) return;
+  checks_.fetch_add(len, std::memory_order_relaxed);
+  std::scoped_lock lock(shadow.mutex_);
+  auto& block = shadow.cells_[owner];
+  if (block.size() < off + len) block.resize(off + len);
+  for (std::size_t i = off; i < off + len; ++i) {
+    ArrayShadow::Cell& cell = block[i];
+    if (kind == RaceAccess::kWrite) {
+      if (cell.write_epoch == epoch && cell.write_rank != rank) {
+        log_conflict(shadow, owner, i, epoch, cell.write_rank,
+                     RaceAccess::kWrite, rank, RaceAccess::kWrite);
+      }
+      if (cell.read_epoch == epoch &&
+          (cell.read_shared || cell.read_rank != rank)) {
+        // read_shared means several distinct ranks read this epoch, so at
+        // least one reader is foreign even if the recorded one is `rank`.
+        log_conflict(shadow, owner, i, epoch, cell.read_rank,
+                     RaceAccess::kRead, rank, RaceAccess::kWrite);
+      }
+      cell.write_epoch = epoch;
+      cell.write_rank = rank;
+    } else {
+      if (cell.write_epoch == epoch && cell.write_rank != rank) {
+        log_conflict(shadow, owner, i, epoch, cell.write_rank,
+                     RaceAccess::kWrite, rank, RaceAccess::kRead);
+      }
+      if (cell.read_epoch != epoch) {
+        cell.read_epoch = epoch;
+        cell.read_rank = rank;
+        cell.read_shared = false;
+      } else if (cell.read_rank != rank) {
+        cell.read_shared = true;
+      }
+    }
+  }
+}
+
+void RaceLedger::log_conflict(const ArrayShadow& shadow, std::uint32_t owner,
+                              std::size_t off, std::uint64_t epoch,
+                              std::uint32_t first_rank, RaceAccess first_kind,
+                              std::uint32_t second_rank,
+                              RaceAccess second_kind) {
+  std::scoped_lock lock(log_mutex_);
+  ++conflicts_;
+  if (log_.size() >= kMaxDiagnostics) return;
+  RaceDiagnostic d;
+  d.array = shadow.name();
+  d.owner = owner;
+  d.offset = off;
+  d.epoch = epoch;
+  d.first_rank = first_rank;
+  d.first_kind = first_kind;
+  d.second_rank = second_rank;
+  d.second_kind = second_kind;
+  log_.push_back(std::move(d));
+}
+
+void RaceLedger::reset() {
+  {
+    std::scoped_lock lock(registry_mutex_);
+    for (auto& shadow : arrays_) {
+      std::scoped_lock cell_lock(shadow->mutex_);
+      for (auto& block : shadow->cells_) block.clear();
+    }
+    // Shadows whose Spread died are no longer reachable by any record
+    // call; drop our reference so they don't accumulate across runs.
+    std::erase_if(arrays_,
+                  [](const auto& shadow) { return shadow.use_count() == 1; });
+  }
+  std::scoped_lock lock(log_mutex_);
+  log_.clear();
+  conflicts_ = 0;
+  checks_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<RaceDiagnostic> RaceLedger::diagnostics() const {
+  std::scoped_lock lock(log_mutex_);
+  return log_;
+}
+
+std::uint64_t RaceLedger::conflict_count() const noexcept {
+  std::scoped_lock lock(log_mutex_);
+  return conflicts_;
+}
+
+std::uint64_t RaceLedger::check_count() const noexcept {
+  return checks_.load(std::memory_order_relaxed);
+}
+
+std::string RaceLedger::format_report() const {
+  std::scoped_lock lock(log_mutex_);
+  if (conflicts_ == 0) return {};
+  std::ostringstream os;
+  os << "histcc race ledger: " << conflicts_
+     << " conflicting access(es) detected:\n";
+  for (const auto& d : log_) os << "  " << d.to_string() << "\n";
+  if (conflicts_ > log_.size()) {
+    os << "  ... and " << (conflicts_ - log_.size()) << " more\n";
+  }
+  return os.str();
+}
+
+}  // namespace histcc::splitc

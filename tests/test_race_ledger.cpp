@@ -1,0 +1,267 @@
+// Tests of the barrier-epoch race ledger (race_ledger.hpp): a deliberately
+// protocol-violating program must be detected with a full diagnostic —
+// array name, element index, both ranks, and epoch — while the repo's real
+// algorithms run clean at several machine sizes.
+//
+// The racy programs sequence their conflicting accesses with an atomic
+// flag, so the two accesses are *physically* ordered on every run: there
+// is no C++ data race (ThreadSanitizer stays silent) and no UB.  They
+// still violate the publication protocol — same element, different ranks,
+// no barrier in between — which is exactly the property the ledger checks,
+// and why its detection is deterministic where TSan's is scheduling luck.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "histcc/cc/parallel_cc.hpp"
+#include "histcc/hist/histogram.hpp"
+#include "histcc/image/generators.hpp"
+#include "histcc/splitc/machine.hpp"
+#include "histcc/splitc/race_ledger.hpp"
+#include "histcc/splitc/spread.hpp"
+
+namespace cc = histcc::cc;
+namespace im = histcc::img;
+namespace sc = histcc::splitc;
+
+namespace {
+
+/// Spin until `flag` reaches `want`; yields so single-CPU hosts make
+/// progress.
+void await(const std::atomic<int>& flag, int want) {
+  while (flag.load(std::memory_order_acquire) != want) {
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace
+
+TEST(RaceLedger, CompileFlagIsReportedConsistently) {
+  sc::Machine machine(2);
+  if (sc::Machine::race_ledger_compiled()) {
+    EXPECT_NE(machine.race_ledger_registry(), nullptr);
+    EXPECT_NE(machine.race_ledger(), nullptr);
+  } else {
+    EXPECT_EQ(machine.race_ledger_registry(), nullptr);
+    EXPECT_EQ(machine.race_ledger(), nullptr);
+  }
+}
+
+TEST(RaceLedger, EpochStartsAtOneAndCountsBarriers) {
+  sc::Machine machine(4);
+  machine.run([](sc::Proc& self) {
+    EXPECT_EQ(self.epoch(), 1u);
+    self.barrier();
+    EXPECT_EQ(self.epoch(), 2u);
+    self.barrier();
+    self.barrier();
+    EXPECT_EQ(self.epoch(), 4u);
+  });
+}
+
+TEST(RaceLedger, WriteWriteConflictIsDetectedWithFullDiagnostic) {
+  if (!sc::Machine::race_ledger_compiled()) {
+    GTEST_SKIP() << "built without HISTCC_RACE_LEDGER";
+  }
+  sc::Machine machine(4);
+  machine.set_race_policy(sc::RacePolicy::kRecord);
+  sc::Spread<std::uint32_t> data(machine, 8, "racy_buf");
+
+  // Ranks 0 and 1 both put to element 5 of rank 2's block in epoch 1,
+  // physically ordered by the flag: a protocol race, not a C++ one.
+  std::atomic<int> turn{0};
+  machine.run([&](sc::Proc& self) {
+    if (self.rank() == 0) {
+      data.put(self, 2, 5, 111u);
+      turn.store(1, std::memory_order_release);
+    } else if (self.rank() == 1) {
+      await(turn, 1);
+      data.put(self, 2, 5, 222u);
+    }
+    self.barrier();
+  });
+
+  auto* ledger = machine.race_ledger_registry();
+  ASSERT_NE(ledger, nullptr);
+  ASSERT_GE(ledger->conflict_count(), 1u);
+  const auto diags = ledger->diagnostics();
+  ASSERT_FALSE(diags.empty());
+  const auto& d = diags.front();
+  EXPECT_EQ(d.array, "racy_buf");
+  EXPECT_EQ(d.owner, 2u);
+  EXPECT_EQ(d.offset, 5u);
+  EXPECT_EQ(d.epoch, 1u);
+  EXPECT_EQ(d.first_rank, 0u);
+  EXPECT_EQ(d.second_rank, 1u);
+  EXPECT_EQ(d.first_kind, sc::RaceAccess::kWrite);
+  EXPECT_EQ(d.second_kind, sc::RaceAccess::kWrite);
+
+  // The rendered message names everything a user needs to find the bug.
+  const std::string msg = d.to_string();
+  EXPECT_NE(msg.find("racy_buf"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("element 5"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("rank 0"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("rank 1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("epoch 1"), std::string::npos) << msg;
+}
+
+TEST(RaceLedger, ReadOfUnpublishedWriteIsDetected) {
+  if (!sc::Machine::race_ledger_compiled()) {
+    GTEST_SKIP() << "built without HISTCC_RACE_LEDGER";
+  }
+  sc::Machine machine(2);
+  machine.set_race_policy(sc::RacePolicy::kRecord);
+  sc::Spread<std::uint32_t> data(machine, 4, "unpublished");
+
+  // Rank 0 writes its own block; rank 1 reads it in the same epoch —
+  // the missing-barrier bug the publication discipline forbids.
+  std::atomic<int> turn{0};
+  machine.run([&](sc::Proc& self) {
+    if (self.rank() == 0) {
+      data.local(self)[0] = 7;
+      data.note_local_write(self, 0, 1);
+      turn.store(1, std::memory_order_release);
+    } else {
+      await(turn, 1);
+      (void)data.get(self, 0, 0);
+    }
+    self.barrier();
+  });
+
+  auto* ledger = machine.race_ledger_registry();
+  ASSERT_NE(ledger, nullptr);
+  ASSERT_GE(ledger->conflict_count(), 1u);
+  const auto diags = ledger->diagnostics();
+  ASSERT_FALSE(diags.empty());
+  const auto& d = diags.front();
+  EXPECT_EQ(d.array, "unpublished");
+  EXPECT_EQ(d.owner, 0u);
+  EXPECT_EQ(d.offset, 0u);
+  EXPECT_EQ(d.first_kind, sc::RaceAccess::kWrite);
+  EXPECT_EQ(d.second_kind, sc::RaceAccess::kRead);
+}
+
+TEST(RaceLedger, ThrowPolicyRaisesViolationFromRun) {
+  if (!sc::Machine::race_ledger_compiled()) {
+    GTEST_SKIP() << "built without HISTCC_RACE_LEDGER";
+  }
+  sc::Machine machine(2);
+  sc::Spread<std::uint32_t> data(machine, 2, "throwing");
+  std::atomic<int> turn{0};
+  EXPECT_THROW(machine.run([&](sc::Proc& self) {
+    if (self.rank() == 0) {
+      data.put(self, 1, 0, 1u);
+      turn.store(1, std::memory_order_release);
+    } else {
+      await(turn, 1);
+      data.put(self, 1, 0, 2u);
+    }
+    self.barrier();
+  }),
+               sc::RaceLedgerViolation);
+}
+
+TEST(RaceLedger, BarrierSeparatedAccessesAreClean) {
+  if (!sc::Machine::race_ledger_compiled()) {
+    GTEST_SKIP() << "built without HISTCC_RACE_LEDGER";
+  }
+  sc::Machine machine(4);
+  sc::Spread<std::uint32_t> data(machine, 4, "published");
+  // The correct version of the protocol: write, barrier, then read.
+  machine.run([&](sc::Proc& self) {
+    data.local(self)[0] = self.rank();
+    data.note_local_write(self, 0, 1);
+    self.barrier();
+    const std::uint32_t next = (self.rank() + 1) % machine.nprocs();
+    EXPECT_EQ(data.get(self, next, 0), next);
+    self.sync();
+    self.barrier();
+  });
+  auto* ledger = machine.race_ledger_registry();
+  ASSERT_NE(ledger, nullptr);
+  EXPECT_EQ(ledger->conflict_count(), 0u);
+  EXPECT_GT(ledger->check_count(), 0u);
+}
+
+TEST(RaceLedger, LedgerStateResetsBetweenRuns) {
+  if (!sc::Machine::race_ledger_compiled()) {
+    GTEST_SKIP() << "built without HISTCC_RACE_LEDGER";
+  }
+  sc::Machine machine(2);
+  machine.set_race_policy(sc::RacePolicy::kRecord);
+  sc::Spread<std::uint32_t> data(machine, 2, "reset_me");
+  std::atomic<int> turn{0};
+  machine.run([&](sc::Proc& self) {
+    if (self.rank() == 0) {
+      data.put(self, 1, 0, 1u);
+      turn.store(1, std::memory_order_release);
+    } else {
+      await(turn, 1);
+      data.put(self, 1, 0, 2u);
+    }
+    self.barrier();
+  });
+  ASSERT_GE(machine.race_ledger_registry()->conflict_count(), 1u);
+
+  // A clean follow-up program must start from a blank ledger: neither the
+  // old diagnostics nor the old shadow cells may leak into this run.
+  machine.run([&](sc::Proc& self) {
+    data.local(self)[0] = 9;
+    data.note_local_write(self, 0, 1);
+    self.barrier();
+  });
+  EXPECT_EQ(machine.race_ledger_registry()->conflict_count(), 0u);
+}
+
+TEST(RaceLedger, RuntimeDisableSwitchesCheckingOff) {
+  if (!sc::Machine::race_ledger_compiled()) {
+    GTEST_SKIP() << "built without HISTCC_RACE_LEDGER";
+  }
+  sc::Machine machine(2);
+  machine.set_race_ledger_enabled(false);
+  sc::Spread<std::uint32_t> data(machine, 2, "disabled");
+  std::atomic<int> turn{0};
+  machine.run([&](sc::Proc& self) {
+    if (self.rank() == 0) {
+      data.put(self, 1, 0, 1u);
+      turn.store(1, std::memory_order_release);
+    } else {
+      await(turn, 1);
+      data.put(self, 1, 0, 2u);
+    }
+    self.barrier();
+  });
+  EXPECT_EQ(machine.race_ledger_registry()->conflict_count(), 0u);
+}
+
+// The acceptance gate: the paper's algorithms, which follow the
+// publication discipline, must produce zero conflicts — no false
+// positives — at several machine sizes, under the throwing policy.
+class RaceLedgerCleanAlgorithms : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(RaceLedgerCleanAlgorithms, ParallelCcRunsClean) {
+  const std::uint32_t p = GetParam();
+  sc::Machine machine(p);  // RacePolicy::kThrow is the default
+  const auto image = im::make_test_pattern(im::TestPattern::kDualSpiral, 64);
+  EXPECT_NO_THROW({
+    (void)cc::connected_components_parallel(machine, image, cc::CcOptions{});
+  });
+  if (sc::Machine::race_ledger_compiled()) {
+    EXPECT_EQ(machine.race_ledger_registry()->conflict_count(), 0u);
+    EXPECT_GT(machine.race_ledger_registry()->check_count(), 0u);
+  }
+}
+
+TEST_P(RaceLedgerCleanAlgorithms, HistogramRunsClean) {
+  const std::uint32_t p = GetParam();
+  sc::Machine machine(p);
+  const auto image = im::make_test_pattern(im::TestPattern::kCircles, 64);
+  EXPECT_NO_THROW({ (void)histcc::hist::histogram_parallel(machine, image, 64); });
+  if (sc::Machine::race_ledger_compiled()) {
+    EXPECT_EQ(machine.race_ledger_registry()->conflict_count(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MachineSizes, RaceLedgerCleanAlgorithms,
+                         ::testing::Values(1u, 4u, 16u));

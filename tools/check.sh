@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Correctness matrix driver: builds and tests the tier-1 suite under each
+# analysis configuration, then (when available) runs clang-tidy over the
+# sources using the plain preset's compile_commands.json.
+#
+# Usage:
+#   tools/check.sh                 # run every stage
+#   tools/check.sh plain tsan      # run a subset
+#   JOBS=8 tools/check.sh          # override parallelism
+#
+# Stages: plain, asan-ubsan, tsan, race-ledger, tidy.
+# Exit status is non-zero if any requested stage fails; stages that
+# cannot run here (clang-tidy not installed) are skipped with a notice.
+set -u
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+STAGES=("$@")
+if [ ${#STAGES[@]} -eq 0 ]; then
+  STAGES=(plain asan-ubsan tsan race-ledger tidy)
+fi
+
+failures=()
+note() { printf '\n==== %s ====\n' "$*"; }
+
+run_preset() {
+  local preset="$1"
+  note "preset: ${preset} (configure)"
+  cmake --preset "${preset}" || { failures+=("${preset}:configure"); return; }
+  note "preset: ${preset} (build, -j${JOBS})"
+  cmake --build --preset "${preset}" -j "${JOBS}" ||
+    { failures+=("${preset}:build"); return; }
+  note "preset: ${preset} (ctest)"
+  ctest --preset "${preset}" -j "${JOBS}" || failures+=("${preset}:test")
+}
+
+run_tidy() {
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    note "clang-tidy not installed; skipping (see ROADMAP.md open items)"
+    return
+  fi
+  # clang-tidy needs the plain preset's compile_commands.json.
+  if [ ! -f build/compile_commands.json ]; then
+    cmake --preset plain || { failures+=("tidy:configure"); return; }
+  fi
+  note "clang-tidy ($(clang-tidy --version | head -n1))"
+  local files
+  files=$(git ls-files 'src/*.cpp' 'tests/*.cpp' 'bench/*.cpp')
+  local runner="xargs -P ${JOBS} -n 4"
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -p build -quiet -j "${JOBS}" \
+      'src/.*\.cpp$|tests/.*\.cpp$|bench/.*\.cpp$' ||
+      failures+=("tidy:lint")
+  else
+    echo "${files}" | ${runner} clang-tidy -p build --quiet ||
+      failures+=("tidy:lint")
+  fi
+}
+
+for stage in "${STAGES[@]}"; do
+  case "${stage}" in
+    plain | asan-ubsan | tsan | race-ledger) run_preset "${stage}" ;;
+    tidy) run_tidy ;;
+    *)
+      echo "unknown stage: ${stage}" >&2
+      failures+=("${stage}:unknown")
+      ;;
+  esac
+done
+
+note "summary"
+if [ ${#failures[@]} -eq 0 ]; then
+  echo "all requested stages passed: ${STAGES[*]}"
+else
+  echo "FAILED stages: ${failures[*]}" >&2
+  exit 1
+fi
