@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 #include <bit>
+#include <cstdlib>
 #include <thread>
 
 namespace {
@@ -26,10 +27,22 @@ double best_of(int reps, Fn&& fn) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const std::uint32_t hw =
       std::max(1u, std::thread::hardware_concurrency());
-  const std::uint32_t p = std::bit_floor(hw);
+  // Optional argv[1]: virtual-machine size (power of two).  Lets the race
+  // ledger's instrumented-vs-plain overhead be measured at a fixed p
+  // regardless of the host's core count.
+  std::uint32_t p = std::bit_floor(hw);
+  if (argc > 1) {
+    const long requested = std::strtol(argv[1], nullptr, 10);
+    if (requested < 1 || std::bit_floor(static_cast<std::uint32_t>(
+                             requested)) != requested) {
+      std::fprintf(stderr, "usage: %s [p]   (p a power of two)\n", argv[0]);
+      return 2;
+    }
+    p = static_cast<std::uint32_t>(requested);
+  }
   std::printf("Host comparison — wall-clock on this machine (%u hardware "
               "threads, virtual machine p = %u)\n\n",
               hw, p);

@@ -1,0 +1,127 @@
+#ifndef HISTCC_OMP_EPOCH_CHECK_HPP
+#define HISTCC_OMP_EPOCH_CHECK_HPP
+
+/// \file epoch_check.hpp
+/// Barrier-epoch race checking for the OpenMP mirror.
+///
+/// The splitc race ledger (histcc/splitc/race_ledger.hpp) checks the BDM
+/// publication protocol: accesses by different processors to the same
+/// element are ordered only by a barrier both have crossed.  The OpenMP
+/// implementations follow exactly the same discipline — per-thread
+/// partials written, `#pragma omp barrier`, then reduced — but until now
+/// only the splitc runtime was checked.  `EpochChecker` closes that gap by
+/// reusing the same `splitc::RaceLedger` shadow store (always compiled,
+/// independent of the HISTCC_RACE_LEDGER Spread instrumentation) with
+/// OpenMP thread ids as ranks and `#pragma omp barrier`-delimited logical
+/// epochs.
+///
+/// Usage inside a parallel region:
+///
+///     EpochChecker chk(threads);
+///     auto shadow = chk.attach("partial");
+///     #pragma omp parallel num_threads(threads)
+///     {
+///       const unsigned tid = ...;
+///       ...write my chunk...
+///       chk.note_write(*shadow, tid, my_off, my_len);
+///       chk.epoch_barrier(tid);       // omp barrier + epoch bump
+///       ...read everyone's chunks...
+///       chk.note_read(*shadow, tid, 0, total);
+///     }
+///     chk.throw_if_conflicts();
+///
+/// `epoch_barrier` must be executed by every thread of the innermost
+/// parallel region (it contains an orphaned `#pragma omp barrier`).  For
+/// fork/join transitions — parallel region, serial stitch, parallel region
+/// — call `advance_epoch_all()` between the regions from the serial part;
+/// the implied barriers at region boundaries provide the ordering, and the
+/// serial code records its accesses as thread 0.
+///
+/// Like the splitc ledger, detection is protocol-level and deterministic:
+/// two same-epoch accesses by different threads with at least one write
+/// are flagged on every run, regardless of how the OS scheduled them.
+///
+/// The built-in algorithms (`histogram_omp`, `connected_components_omp`)
+/// self-instrument when the process-wide switch `set_epoch_check_enabled`
+/// is on (default off: production runs pay nothing).
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "histcc/splitc/race_ledger.hpp"
+
+namespace histcc::omp {
+
+/// Process-wide switch for self-instrumentation of the built-in OpenMP
+/// algorithms.  Off by default; tests flip it on around the calls they
+/// want checked.  Not thread-safe against concurrent algorithm calls.
+void set_epoch_check_enabled(bool enabled) noexcept;
+[[nodiscard]] bool epoch_check_enabled() noexcept;
+
+/// Barrier-epoch happens-before checker for one OpenMP team.
+///
+/// One instance checks one algorithm invocation: construct with the team
+/// size, attach a shadow per shared array, annotate accesses, and inspect
+/// (or throw on) conflicts afterwards.  note_read/note_write are safe to
+/// call concurrently from their own thread id; everything else is
+/// host-side (outside or between parallel regions).
+class EpochChecker {
+ public:
+  explicit EpochChecker(unsigned threads);
+
+  EpochChecker(const EpochChecker&) = delete;
+  EpochChecker& operator=(const EpochChecker&) = delete;
+
+  /// Register a shared array under `name` (appears in diagnostics).
+  [[nodiscard]] std::shared_ptr<splitc::ArrayShadow> attach(std::string name);
+
+  /// Thread `tid` wrote elements [off, off+len) in its current epoch.
+  void note_write(splitc::ArrayShadow& shadow, unsigned tid, std::size_t off,
+                  std::size_t len);
+
+  /// Thread `tid` read elements [off, off+len) in its current epoch.
+  void note_read(splitc::ArrayShadow& shadow, unsigned tid, std::size_t off,
+                 std::size_t len);
+
+  /// An `#pragma omp barrier` plus thread `tid`'s epoch bump.  Every
+  /// thread of the innermost parallel region must call this (the OpenMP
+  /// barrier requires it), keeping all epoch counters in lock-step.
+  void epoch_barrier(unsigned tid);
+
+  /// Host-side epoch bump for all threads, for the implied barrier at a
+  /// parallel-region boundary (fork/join transitions).  Serial code
+  /// between regions records its accesses as thread 0 in the epoch this
+  /// call enters.
+  void advance_epoch_all() noexcept;
+
+  /// Thread `tid`'s current epoch (starts at 1).
+  [[nodiscard]] std::uint64_t epoch(unsigned tid) const noexcept;
+
+  [[nodiscard]] unsigned threads() const noexcept { return threads_; }
+  [[nodiscard]] std::uint64_t conflict_count() const noexcept;
+  [[nodiscard]] std::uint64_t check_count() const noexcept;
+  [[nodiscard]] std::vector<splitc::RaceDiagnostic> diagnostics() const;
+  [[nodiscard]] std::string format_report() const;
+
+  /// Throw splitc::RaceLedgerViolation with the full report if any
+  /// conflict was recorded.
+  void throw_if_conflicts() const;
+
+ private:
+  /// Per-thread epoch counter, cache-line padded: epoch_barrier bumps it
+  /// from its own thread while peers bump theirs.
+  struct PaddedEpoch {
+    alignas(64) std::uint64_t value = 1;
+  };
+
+  unsigned threads_;
+  splitc::RaceLedger ledger_;
+  std::vector<PaddedEpoch> epochs_;
+};
+
+}  // namespace histcc::omp
+
+#endif  // HISTCC_OMP_EPOCH_CHECK_HPP

@@ -28,10 +28,14 @@ namespace histcc::omp {
 /// Number of threads the OpenMP backend will use (1 when built serially).
 [[nodiscard]] unsigned backend_threads() noexcept;
 
-/// Histogram with per-thread tallies + reduction.  Same contract as
-/// hist::histogram_seq (k a power of two in [2, 256], pixels < k).
+/// Histogram with per-thread tallies + parallel reduction.  Same contract
+/// as hist::histogram_seq (k a power of two in [2, 256], pixels < k).
+/// `threads` sets the team size explicitly — 0 means backend_threads();
+/// any count (including non-powers-of-two and oversubscription) gives
+/// bit-identical results.  When the epoch checker is enabled
+/// (epoch_check.hpp) the run self-verifies its barrier discipline.
 [[nodiscard]] std::vector<std::uint32_t> histogram_omp(
-    const img::GreyImage& image, std::uint32_t k);
+    const img::GreyImage& image, std::uint32_t k, unsigned threads = 0);
 
 /// Connected components by strip-parallel union-find:
 ///   1. the image is cut into horizontal strips, one per thread; each
@@ -41,11 +45,15 @@ namespace histcc::omp {
 ///      above it (the strip boundaries);
 ///   3. a parallel read-only resolve assigns every pixel its root label.
 /// Union-by-minimum keeps the canonical labeling, so the output equals
-/// ccseq::label_components_* exactly.
+/// ccseq::label_components_* exactly.  `threads` sets the team size
+/// explicitly (0 = backend_threads()); the count is clamped so every
+/// strip spans at least two rows.  When the epoch checker is enabled
+/// (epoch_check.hpp) the run self-verifies its barrier discipline.
 [[nodiscard]] img::LabelImage connected_components_omp(
     const img::GreyImage& image,
     ccseq::Connectivity conn = ccseq::Connectivity::kEight,
-    ccseq::ColourRule rule = ccseq::ColourRule::kBinary);
+    ccseq::ColourRule rule = ccseq::ColourRule::kBinary,
+    unsigned threads = 0);
 
 }  // namespace histcc::omp
 

@@ -5,8 +5,10 @@
 #endif
 
 #include <algorithm>
+#include <memory>
 #include <vector>
 
+#include "histcc/omp/epoch_check.hpp"
 #include "histcc/util/require.hpp"
 
 namespace histcc::omp {
@@ -94,7 +96,8 @@ void scan_rows(const img::GreyImage& image, Forest& forest,
 
 img::LabelImage connected_components_omp(const img::GreyImage& image,
                                          ccseq::Connectivity conn,
-                                         ccseq::ColourRule rule) {
+                                         ccseq::ColourRule rule,
+                                         unsigned threads) {
   const std::uint32_t rows = image.height();
   const std::uint32_t cols = image.width();
   img::LabelImage labels(rows, cols);
@@ -103,12 +106,24 @@ img::LabelImage connected_components_omp(const img::GreyImage& image,
   Forest forest(static_cast<std::size_t>(rows) * cols);
 
 #ifdef _OPENMP
-  const unsigned threads =
-      std::min<unsigned>(backend_threads(), std::max(1u, rows / 2));
+  if (threads == 0) threads = backend_threads();
+  // Every strip must span at least two rows so pass 1's "first row links
+  // westwards only" rule keeps the strips' union-find updates disjoint.
+  threads = std::min<unsigned>(threads, std::max(1u, rows / 2));
   std::vector<std::uint32_t> strip_begin(threads + 1);
   for (unsigned t = 0; t <= threads; ++t) {
     strip_begin[t] = static_cast<std::uint32_t>(
         static_cast<std::uint64_t>(rows) * t / threads);
+  }
+
+  const std::size_t total = static_cast<std::size_t>(rows) * cols;
+  std::unique_ptr<EpochChecker> chk;
+  std::shared_ptr<splitc::ArrayShadow> sh_parent;
+  std::shared_ptr<splitc::ArrayShadow> sh_labels;
+  if (epoch_check_enabled()) {
+    chk = std::make_unique<EpochChecker>(threads);
+    sh_parent = chk->attach("omp_cc_parent");
+    sh_labels = chk->attach("omp_cc_labels");
   }
 
   // Pass 1 (parallel): each thread's unions touch only pixel indices in
@@ -118,7 +133,15 @@ img::LabelImage connected_components_omp(const img::GreyImage& image,
     const auto t = static_cast<unsigned>(omp_get_thread_num());
     scan_rows(image, forest, strip_begin[t], strip_begin[t + 1],
               /*skip_up=*/true, conn, rule);
+    if (chk) {
+      const std::size_t lo = static_cast<std::size_t>(strip_begin[t]) * cols;
+      const std::size_t hi =
+          static_cast<std::size_t>(strip_begin[t + 1]) * cols;
+      chk->note_write(*sh_parent, t, lo, hi - lo);
+    }
   }
+  // The fork/join boundary is the barrier that publishes the strips.
+  if (chk) chk->advance_epoch_all();
 
   // Pass 2 (serial): stitch the strip boundaries — re-scan just each
   // strip's first row with upward links enabled.
@@ -126,19 +149,36 @@ img::LabelImage connected_components_omp(const img::GreyImage& image,
     scan_rows(image, forest, strip_begin[t], strip_begin[t] + 1,
               /*skip_up=*/false, conn, rule);
   }
+  if (chk) {
+    // Boundary unions may relink roots anywhere; recorded as thread 0,
+    // alone in its epoch (the other threads are joined).
+    chk->note_write(*sh_parent, 0, 0, total);
+    chk->advance_epoch_all();
+  }
 
   // Pass 3 (parallel, read-only): resolve every pixel to its root.
+  // Manual static ranges (equivalent to schedule(static)) so each
+  // thread's label slice is explicit for the epoch annotation.
   const auto px = image.pixels();
   auto out = labels.pixels();
-#pragma omp parallel for schedule(static) num_threads(threads)
-  for (std::int64_t idx = 0; idx < static_cast<std::int64_t>(px.size());
-       ++idx) {
-    const auto i = static_cast<std::size_t>(idx);
-    out[i] = px[i] == 0
-                 ? ccseq::kBackgroundLabel
-                 : forest.find_const(static_cast<std::uint32_t>(i)) + 1;
+#pragma omp parallel num_threads(threads)
+  {
+    const auto t = static_cast<unsigned>(omp_get_thread_num());
+    const std::size_t lo = total * t / threads;
+    const std::size_t hi = total * (t + 1) / threads;
+    for (std::size_t i = lo; i < hi; ++i) {
+      out[i] = px[i] == 0
+                   ? ccseq::kBackgroundLabel
+                   : forest.find_const(static_cast<std::uint32_t>(i)) + 1;
+    }
+    if (chk) {
+      chk->note_read(*sh_parent, t, 0, total);
+      chk->note_write(*sh_labels, t, lo, hi - lo);
+    }
   }
+  if (chk) chk->throw_if_conflicts();
 #else
+  (void)threads;
   scan_rows(image, forest, 0, rows, /*skip_up=*/false, conn, rule);
   const auto px = image.pixels();
   auto out = labels.pixels();

@@ -1,0 +1,86 @@
+#include "histcc/omp/epoch_check.hpp"
+
+#include <atomic>
+#include <utility>
+
+#include "histcc/util/require.hpp"
+
+namespace histcc::omp {
+
+namespace {
+std::atomic<bool> g_epoch_check_enabled{false};
+}  // namespace
+
+void set_epoch_check_enabled(bool enabled) noexcept {
+  g_epoch_check_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool epoch_check_enabled() noexcept {
+  return g_epoch_check_enabled.load(std::memory_order_relaxed);
+}
+
+EpochChecker::EpochChecker(unsigned threads)
+    // All shadows are single-owner (owner 0 = "the shared array"); thread
+    // ids play the rank role in the underlying ledger.
+    : threads_(threads), ledger_(1), epochs_(threads) {
+  HISTCC_REQUIRE(threads >= 1, "EpochChecker needs at least one thread");
+}
+
+std::shared_ptr<splitc::ArrayShadow> EpochChecker::attach(std::string name) {
+  return ledger_.attach(std::move(name));
+}
+
+void EpochChecker::note_write(splitc::ArrayShadow& shadow, unsigned tid,
+                              std::size_t off, std::size_t len) {
+  ledger_.record(shadow, 0, off, len, tid, epochs_[tid].value,
+                 splitc::RaceAccess::kWrite);
+}
+
+void EpochChecker::note_read(splitc::ArrayShadow& shadow, unsigned tid,
+                             std::size_t off, std::size_t len) {
+  ledger_.record(shadow, 0, off, len, tid, epochs_[tid].value,
+                 splitc::RaceAccess::kRead);
+}
+
+void EpochChecker::epoch_barrier(unsigned tid) {
+  // Orphaned barrier: binds to the innermost enclosing parallel region,
+  // so every team member synchronizes here before any of them records in
+  // the next epoch.  Outside a parallel region (or in a serial build)
+  // this is a no-op and the single caller just advances.
+#ifdef _OPENMP
+#pragma omp barrier
+#endif
+  epochs_[tid].value += 1;
+}
+
+void EpochChecker::advance_epoch_all() noexcept {
+  for (auto& e : epochs_) e.value += 1;
+}
+
+std::uint64_t EpochChecker::epoch(unsigned tid) const noexcept {
+  return epochs_[tid].value;
+}
+
+std::uint64_t EpochChecker::conflict_count() const noexcept {
+  return ledger_.conflict_count();
+}
+
+std::uint64_t EpochChecker::check_count() const noexcept {
+  return ledger_.check_count();
+}
+
+std::vector<splitc::RaceDiagnostic> EpochChecker::diagnostics() const {
+  return ledger_.diagnostics();
+}
+
+std::string EpochChecker::format_report() const {
+  return ledger_.format_report();
+}
+
+void EpochChecker::throw_if_conflicts() const {
+  if (ledger_.conflict_count() > 0) {
+    throw splitc::RaceLedgerViolation(ledger_.format_report());
+  }
+}
+
+}  // namespace histcc::omp

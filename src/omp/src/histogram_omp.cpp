@@ -4,6 +4,9 @@
 #include <omp.h>
 #endif
 
+#include <memory>
+
+#include "histcc/omp/epoch_check.hpp"
 #include "histcc/util/math.hpp"
 #include "histcc/util/require.hpp"
 
@@ -18,7 +21,7 @@ unsigned backend_threads() noexcept {
 }
 
 std::vector<std::uint32_t> histogram_omp(const img::GreyImage& image,
-                                         std::uint32_t k) {
+                                         std::uint32_t k, unsigned threads) {
   HISTCC_REQUIRE(k >= 2 && k <= 256 && util::is_pow2(k),
                  "grey-level count must be a power of two in [2, 256]");
   const auto px = image.pixels();
@@ -29,22 +32,55 @@ std::vector<std::uint32_t> histogram_omp(const img::GreyImage& image,
 
   std::vector<std::uint32_t> counts(k, 0);
 #ifdef _OPENMP
-  const auto threads = backend_threads();
-  std::vector<std::vector<std::uint32_t>> partial(
-      threads, std::vector<std::uint32_t>(k, 0));
-#pragma omp parallel num_threads(threads)
+  const unsigned nt = threads == 0 ? backend_threads() : threads;
+  // Flat per-thread tallies: thread t owns [t*k, (t+1)*k).  Epoch
+  // structure is the paper's publication discipline verbatim: tally into
+  // your own block, barrier, reduce everyone's blocks.
+  std::vector<std::uint32_t> partial(static_cast<std::size_t>(nt) * k, 0);
+
+  std::unique_ptr<EpochChecker> chk;
+  std::shared_ptr<splitc::ArrayShadow> sh_partial;
+  std::shared_ptr<splitc::ArrayShadow> sh_counts;
+  if (epoch_check_enabled()) {
+    chk = std::make_unique<EpochChecker>(nt);
+    sh_partial = chk->attach("omp_hist_partial");
+    sh_counts = chk->attach("omp_hist_counts");
+  }
+
+#pragma omp parallel num_threads(nt)
   {
-    auto& mine = partial[static_cast<std::size_t>(omp_get_thread_num())];
+    const auto t = static_cast<unsigned>(omp_get_thread_num());
+    auto* mine = partial.data() + static_cast<std::size_t>(t) * k;
 #pragma omp for schedule(static)
     for (std::int64_t idx = 0; idx < static_cast<std::int64_t>(px.size());
          ++idx) {
       ++mine[px[static_cast<std::size_t>(idx)]];
     }
+    // (implied barrier at the end of the omp for)
+    if (chk) {
+      chk->note_write(*sh_partial, t, static_cast<std::size_t>(t) * k, k);
+      chk->epoch_barrier(t);
+    }
+    // Parallel reduction over grey levels: thread t combines column g of
+    // every tally block for its slice of [0, k).  Manual static ranges so
+    // the slice is explicit for the epoch annotation.
+    const std::uint32_t g_begin = k * t / nt;
+    const std::uint32_t g_end = k * (t + 1) / nt;
+    for (std::uint32_t g = g_begin; g < g_end; ++g) {
+      std::uint32_t sum = 0;
+      for (unsigned tt = 0; tt < nt; ++tt) {
+        sum += partial[static_cast<std::size_t>(tt) * k + g];
+      }
+      counts[g] = sum;
+    }
+    if (chk) {
+      chk->note_read(*sh_partial, t, 0, partial.size());
+      chk->note_write(*sh_counts, t, g_begin, g_end - g_begin);
+    }
   }
-  for (const auto& mine : partial) {
-    for (std::uint32_t g = 0; g < k; ++g) counts[g] += mine[g];
-  }
+  if (chk) chk->throw_if_conflicts();
 #else
+  (void)threads;
   for (const auto value : px) ++counts[value];
 #endif
   return counts;

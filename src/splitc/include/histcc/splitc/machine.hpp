@@ -33,6 +33,7 @@ namespace histcc::splitc {
 
 class Machine;
 class RaceLedger;
+enum class LedgerMode : std::uint8_t;
 
 /// What Machine::run does when the race ledger recorded conflicts.
 enum class RacePolicy : std::uint8_t {
@@ -119,6 +120,11 @@ class Proc {
         stats_(stats),
         served_(served) {}
 
+  /// Inject a seeded random delay (yields or a short sleep) before the
+  /// barrier rendezvous when schedule perturbation is on.  Exercises
+  /// arrival-order interleavings TSan-style scheduling never explores.
+  void maybe_perturb();
+
   std::uint32_t rank_;
   std::uint32_t nprocs_;
   util::GridShape grid_;
@@ -127,6 +133,7 @@ class Proc {
   std::atomic<std::uint64_t>* served_;
   std::uint64_t pending_words_ = 0;
   std::uint64_t epoch_ = 1;
+  std::uint64_t perturb_state_ = 0;  // splitmix64 state; 0 = perturbation off
 };
 
 /// A virtual distributed-memory machine with p processors (p a power of
@@ -193,6 +200,32 @@ class Machine {
   /// What run() does when conflicts were recorded (default kThrow).
   void set_race_policy(RacePolicy policy) noexcept { race_policy_ = policy; }
 
+  /// Select the ledger's shadow representation (default LedgerMode::kSharded;
+  /// kMutex keeps the PR-1 serialized store as a differential oracle).  A
+  /// no-op in builds without HISTCC_RACE_LEDGER.  Not callable mid-run.
+  void set_race_ledger_mode(LedgerMode mode);
+
+  /// Seeded schedule perturbation: every barrier() crossing first spends a
+  /// per-rank pseudo-random delay (a few yields, or a sleep of up to ~128us)
+  /// derived deterministically from `seed` and the rank.  Seed 0 turns
+  /// perturbation off (the default).  Changes which interleavings the OS
+  /// scheduler realises without changing program semantics — the race
+  /// ledger's epoch bookkeeping is unaffected.
+  void set_schedule_perturbation(std::uint64_t seed) noexcept {
+    perturb_seed_ = seed;
+  }
+
+  /// True while run() is executing the SPMD program.  Host-side Spread
+  /// probes use this to decide whether an access can race at all.
+  [[nodiscard]] bool running() const noexcept { return running_; }
+
+  /// The barrier epoch the machine is currently in: 1 on entry to run(),
+  /// +1 per completed global barrier.  Meaningful only while running();
+  /// used to timestamp host-side block()/size probes in the race ledger.
+  [[nodiscard]] std::uint64_t current_epoch() const noexcept {
+    return barrier_.generation() + 1;
+  }
+
   /// The checker, or nullptr when compiled out or disabled at runtime.
   /// This is the hot-path guard the Spread instrumentation uses.
   [[nodiscard]] RaceLedger* race_ledger() const noexcept {
@@ -216,6 +249,7 @@ class Machine {
   std::unique_ptr<RaceLedger> race_ledger_;
   bool race_ledger_enabled_ = false;
   RacePolicy race_policy_ = RacePolicy::kThrow;
+  std::uint64_t perturb_seed_ = 0;
   bool running_ = false;
 };
 

@@ -80,6 +80,57 @@ class ShadowBase {
 #endif
   }
 
+  /// Record an access to the one-word *size* of `owner`'s block (the value
+  /// SpreadVec::size_of reads).  The size is a publication channel of its
+  /// own: resizing publishes it, so a peer reading it in the same epoch as
+  /// the resize races even if it never touches the payload.
+  void record_size(Proc& self, std::uint32_t owner, RaceAccess kind) {
+#if HISTCC_RACE_LEDGER
+    if (auto* ledger = machine_->race_ledger(); ledger && shadow_) {
+      self.stats().ledger_checks += 1;
+      ledger->record_size(*shadow_, owner, self.rank(), self.epoch(), kind);
+    }
+#else
+    (void)self;
+    (void)owner;
+    (void)kind;
+#endif
+  }
+
+  /// Record a host-side probe of `owner`'s payload.  Outside Machine::run
+  /// the host cannot race with anything and nothing is recorded; during a
+  /// run the access is timestamped with the machine's current barrier
+  /// generation and attributed to the pseudo-rank kHostRank.
+  void record_host(std::uint32_t owner, std::size_t off, std::size_t len,
+                   RaceAccess kind) {
+#if HISTCC_RACE_LEDGER
+    if (!machine_->running()) return;
+    if (auto* ledger = machine_->race_ledger(); ledger && shadow_) {
+      ledger->record(*shadow_, owner, off, len, kHostRank,
+                     machine_->current_epoch(), kind);
+    }
+#else
+    (void)owner;
+    (void)off;
+    (void)len;
+    (void)kind;
+#endif
+  }
+
+  /// Host-side probe of `owner`'s block size (SpreadVec only).
+  void record_host_size(std::uint32_t owner, RaceAccess kind) {
+#if HISTCC_RACE_LEDGER
+    if (!machine_->running()) return;
+    if (auto* ledger = machine_->race_ledger(); ledger && shadow_) {
+      ledger->record_size(*shadow_, owner, kHostRank,
+                          machine_->current_epoch(), kind);
+    }
+#else
+    (void)owner;
+    (void)kind;
+#endif
+  }
+
   Machine* machine_;
   std::string name_;
   std::shared_ptr<ArrayShadow> shadow_;
@@ -125,13 +176,19 @@ class Spread : public detail::ShadowBase {
   }
 
   /// Host-side access to processor `rank`'s block (for initialization and
-  /// verification outside the SPMD region).
+  /// verification outside the SPMD region).  A mutable probe taken *while*
+  /// the machine is running is recorded in the race ledger as a host write
+  /// of the whole block (a const probe as a host read), so an un-barriered
+  /// host peek at in-flight data is diagnosed like any other race.
   [[nodiscard]] std::span<T> block(std::uint32_t rank) {
     HISTCC_REQUIRE(rank < nprocs_, "rank out of range");
+    record_host(rank, 0, per_proc_, RaceAccess::kWrite);
     return std::span<T>(blocks_[rank]);
   }
   [[nodiscard]] std::span<const T> block(std::uint32_t rank) const {
     HISTCC_REQUIRE(rank < nprocs_, "rank out of range");
+    const_cast<Spread*>(this)->record_host(rank, 0, per_proc_,
+                                           RaceAccess::kRead);
     return std::span<const T>(blocks_[rank]);
   }
 
@@ -240,15 +297,30 @@ class SpreadVec : public detail::ShadowBase {
     return blocks_[self.rank()];
   }
 
-  /// Host-side access.
+  /// Host-side access.  A probe taken while the machine is running is
+  /// recorded as a host write of the payload *and* the size (the reference
+  /// allows resizing); a const probe as a host read of both.
   [[nodiscard]] std::vector<T>& block(std::uint32_t rank) {
     HISTCC_REQUIRE(rank < nprocs(), "rank out of range");
+    record_host(rank, 0, blocks_[rank].size(), RaceAccess::kWrite);
+    record_host_size(rank, RaceAccess::kWrite);
+    return blocks_[rank];
+  }
+  [[nodiscard]] const std::vector<T>& block(std::uint32_t rank) const {
+    HISTCC_REQUIRE(rank < nprocs(), "rank out of range");
+    auto* self = const_cast<SpreadVec*>(this);
+    self->record_host(rank, 0, blocks_[rank].size(), RaceAccess::kRead);
+    self->record_host_size(rank, RaceAccess::kRead);
     return blocks_[rank];
   }
 
-  /// Remote size query (one word).
+  /// Remote size query (one word).  Reads the owner's published size, so
+  /// the race ledger treats it like a one-word prefetch of the size cell: a
+  /// size resized in the same epoch (note_local_write without an
+  /// intervening barrier) is diagnosed even when the payload is untouched.
   [[nodiscard]] std::size_t size_of(Proc& self, std::uint32_t rank) {
     HISTCC_REQUIRE(rank < nprocs(), "rank out of range");
+    record_size(self, rank, RaceAccess::kRead);
     if (rank != self.rank()) self.charge_transfer(rank, 1);
     return blocks_[rank].size();
   }
@@ -279,6 +351,9 @@ class SpreadVec : public detail::ShadowBase {
     HISTCC_REQUIRE(off <= size, "annotation offset out of bounds");
     if (len == kWholeBlock) len = size - off;
     HISTCC_REQUIRE(off + len <= size, "annotation range out of bounds");
+    // A resize republishes the size alongside the payload, so the size
+    // cell is marked written even when the payload range is empty.
+    record_size(self, self.rank(), RaceAccess::kWrite);
     record(self, self.rank(), off, len, RaceAccess::kWrite);
   }
 

@@ -1,6 +1,7 @@
 #include "histcc/splitc/machine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -18,9 +19,29 @@ void Proc::sync() noexcept {
   }
 }
 
+void Proc::maybe_perturb() {
+  if (perturb_state_ == 0) return;
+  // splitmix64: high-quality 64-bit mixing with per-rank state.
+  perturb_state_ += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = perturb_state_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  if ((z & 3u) == 0) {
+    // ~1/4 of crossings: sleep 0..127us, long enough to reorder arrivals
+    // even when ranks are time-sliced on few cores.
+    std::this_thread::sleep_for(std::chrono::microseconds((z >> 2) & 127u));
+  } else {
+    for (std::uint64_t n = (z >> 2) & 7u; n > 0; --n) {
+      std::this_thread::yield();
+    }
+  }
+}
+
 void Proc::barrier() {
   sync();
   stats_->barriers += 1;
+  maybe_perturb();
   barrier_->arrive_and_wait();
   // Crossing a global barrier starts a new epoch on every processor; the
   // race ledger treats accesses in distinct epochs as ordered.
@@ -45,6 +66,11 @@ Machine::Machine(std::uint32_t nprocs)
 
 Machine::~Machine() = default;
 
+void Machine::set_race_ledger_mode(LedgerMode mode) {
+  HISTCC_REQUIRE(!running_, "cannot switch ledger mode mid-run");
+  if (race_ledger_) race_ledger_->set_mode(mode);
+}
+
 void Machine::run(const std::function<void(Proc&)>& program) {
   HISTCC_REQUIRE(static_cast<bool>(program), "program must be callable");
   HISTCC_REQUIRE(!running_, "Machine::run is not reentrant");
@@ -66,9 +92,19 @@ void Machine::run(const std::function<void(Proc&)>& program) {
     }
   };
 
+  // Derive per-rank perturbation streams from the machine seed; | 1 keeps
+  // the state nonzero (0 means "off") for every seed and rank.
+  auto perturb_state_for = [this](std::uint32_t rank) -> std::uint64_t {
+    if (perturb_seed_ == 0) return 0;
+    return (perturb_seed_ ^
+            (0x9E3779B97F4A7C15ull * (static_cast<std::uint64_t>(rank) + 1))) |
+           1u;
+  };
+
   if (nprocs_ == 1) {
     // Degenerate single-processor machine: run inline, no threads.
     Proc proc(0, 1, grid_, &barrier_, &stats_[0], served_.get());
+    proc.perturb_state_ = perturb_state_for(0);
     program(proc);
     check_race_ledger();
     return;
@@ -83,6 +119,7 @@ void Machine::run(const std::function<void(Proc&)>& program) {
     threads.emplace_back([&, rank] {
       Proc proc(rank, nprocs_, grid_, &barrier_, &stats_[rank],
                 served_.get());
+      proc.perturb_state_ = perturb_state_for(rank);
       try {
         program(proc);
       } catch (const BarrierAborted&) {

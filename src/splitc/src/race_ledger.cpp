@@ -1,19 +1,134 @@
 #include "histcc/splitc/race_ledger.hpp"
 
+#include <bit>
 #include <sstream>
 #include <utility>
 
 namespace histcc::splitc {
+namespace {
+
+// --- sharded-mode word packing -------------------------------------------
+//
+// write_word = epoch:48 | rank:16            (0 == never written)
+// read_word  = epoch:47 | rank:16 | shared:1 (0 == never read)
+//
+// kHostRank is squeezed into the reserved 16-bit value 0xFFFF; real ranks
+// are bounded by the machine size (<= a few hundred), far below it.
+
+constexpr std::uint64_t kRank16Mask = 0xFFFFu;
+constexpr std::uint64_t kHostRank16 = 0xFFFFu;
+
+constexpr std::uint64_t encode_rank(std::uint32_t rank) noexcept {
+  return rank == kHostRank ? kHostRank16 : (rank & kRank16Mask);
+}
+constexpr std::uint32_t decode_rank(std::uint64_t rank16) noexcept {
+  return rank16 == kHostRank16 ? kHostRank
+                               : static_cast<std::uint32_t>(rank16);
+}
+
+constexpr std::uint64_t pack_write(std::uint64_t epoch,
+                                   std::uint64_t rank16) noexcept {
+  return (epoch << 16) | rank16;
+}
+constexpr std::uint64_t write_epoch(std::uint64_t word) noexcept {
+  return word >> 16;
+}
+constexpr std::uint64_t write_rank16(std::uint64_t word) noexcept {
+  return word & kRank16Mask;
+}
+
+constexpr std::uint64_t pack_read(std::uint64_t epoch, std::uint64_t rank16,
+                                  bool shared) noexcept {
+  return (epoch << 17) | (rank16 << 1) | (shared ? 1u : 0u);
+}
+constexpr std::uint64_t read_epoch(std::uint64_t word) noexcept {
+  return word >> 17;
+}
+constexpr std::uint64_t read_rank16(std::uint64_t word) noexcept {
+  return (word >> 1) & kRank16Mask;
+}
+constexpr bool read_shared(std::uint64_t word) noexcept {
+  return (word & 1u) != 0;
+}
+
+void append_rank(std::ostringstream& os, std::uint32_t rank) {
+  if (rank == kHostRank) {
+    os << "the host";
+  } else {
+    os << "rank " << rank;
+  }
+}
+
+}  // namespace
 
 std::string RaceDiagnostic::to_string() const {
   std::ostringstream os;
-  os << "array '" << array << "' element " << offset << " (block of rank "
-     << owner << "): " << splitc::to_string(first_kind) << " by rank "
-     << first_rank << " conflicts with " << splitc::to_string(second_kind)
-     << " by rank " << second_rank << " in epoch " << epoch
-     << " (no barrier between the accesses)";
+  os << "array '" << array << "' ";
+  if (target == RaceTarget::kSize) {
+    os << "size of rank " << owner << "'s block";
+  } else {
+    os << "element " << offset << " (block of rank " << owner << ")";
+  }
+  os << ": " << splitc::to_string(first_kind) << " by ";
+  append_rank(os, first_rank);
+  os << " conflicts with " << splitc::to_string(second_kind) << " by ";
+  append_rank(os, second_rank);
+  os << " in epoch " << epoch << " (no barrier between the accesses)";
   return os.str();
 }
+
+// --- ArrayShadow ----------------------------------------------------------
+
+ArrayShadow::ArrayShadow(std::string name, std::uint32_t nprocs)
+    : name_(std::move(name)),
+      nprocs_(nprocs),
+      cells_(nprocs),
+      size_cells_(nprocs),
+      shards_(nprocs),
+      size_shards_(std::make_unique<AtomicCell[]>(nprocs)) {}
+
+ArrayShadow::~ArrayShadow() = default;
+
+ArrayShadow::AtomicCell& ArrayShadow::SegmentedCells::cell(std::size_t index) {
+  std::size_t run_len = 0;
+  return *run(index, run_len);
+}
+
+ArrayShadow::AtomicCell* ArrayShadow::SegmentedCells::run(
+    std::size_t index, std::size_t& run_len) {
+  unsigned seg = 0;
+  std::size_t slot = index;
+  std::size_t size = kSeg0;
+  if (index >= kSeg0) {
+    // Segment s >= 1 covers [kSeg0 << (s-1), kSeg0 << s).
+    seg = static_cast<unsigned>(std::bit_width(index / kSeg0));
+    const std::size_t base = kSeg0 << (seg - 1);
+    slot = index - base;
+    size = base;
+  }
+  auto& entry = segments_[seg];
+  AtomicCell* cells = entry.load(std::memory_order_acquire);
+  if (cells == nullptr) {
+    auto* fresh = new AtomicCell[size]();
+    if (entry.compare_exchange_strong(cells, fresh, std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+      cells = fresh;
+    } else {
+      delete[] fresh;  // a peer installed first; `cells` now holds theirs
+    }
+  }
+  run_len = size - slot;
+  return cells + slot;
+}
+
+void ArrayShadow::SegmentedCells::clear() noexcept {
+  for (auto& entry : segments_) {
+    delete[] entry.load(std::memory_order_acquire);
+    entry.store(nullptr, std::memory_order_release);
+  }
+}
+
+// --- RaceLedger -----------------------------------------------------------
 
 std::shared_ptr<ArrayShadow> RaceLedger::attach(std::string name) {
   auto shadow = std::make_shared<ArrayShadow>(std::move(name), nprocs_);
@@ -27,38 +142,181 @@ void RaceLedger::record(ArrayShadow& shadow, std::uint32_t owner,
                         std::uint64_t epoch, RaceAccess kind) {
   if (len == 0 || owner >= nprocs_) return;
   checks_.fetch_add(len, std::memory_order_relaxed);
+  if (mode_ == LedgerMode::kSharded) {
+    record_sharded(shadow, owner, off, len, rank, epoch, kind,
+                   RaceTarget::kPayload);
+  } else {
+    record_mutex(shadow, owner, off, len, rank, epoch, kind,
+                 RaceTarget::kPayload);
+  }
+}
+
+void RaceLedger::record_size(ArrayShadow& shadow, std::uint32_t owner,
+                             std::uint32_t rank, std::uint64_t epoch,
+                             RaceAccess kind) {
+  if (owner >= nprocs_) return;
+  checks_.fetch_add(1, std::memory_order_relaxed);
+  if (mode_ == LedgerMode::kSharded) {
+    record_sharded(shadow, owner, 0, 1, rank, epoch, kind, RaceTarget::kSize);
+  } else {
+    record_mutex(shadow, owner, 0, 1, rank, epoch, kind, RaceTarget::kSize);
+  }
+}
+
+void RaceLedger::check_cell_mutex(ArrayShadow& shadow, ArrayShadow::Cell& cell,
+                                  std::uint32_t owner, std::size_t off,
+                                  std::uint32_t rank, std::uint64_t epoch,
+                                  RaceAccess kind, RaceTarget target) {
+  if (kind == RaceAccess::kWrite) {
+    if (cell.write_epoch == epoch && cell.write_rank != rank) {
+      log_conflict(shadow, owner, off, epoch, cell.write_rank,
+                   RaceAccess::kWrite, rank, RaceAccess::kWrite, target);
+    }
+    if (cell.read_epoch == epoch &&
+        (cell.read_shared || cell.read_rank != rank)) {
+      // read_shared means several distinct ranks read this epoch, so at
+      // least one reader is foreign even if the recorded one is `rank`.
+      log_conflict(shadow, owner, off, epoch, cell.read_rank,
+                   RaceAccess::kRead, rank, RaceAccess::kWrite, target);
+    }
+    cell.write_epoch = epoch;
+    cell.write_rank = rank;
+  } else {
+    if (cell.write_epoch == epoch && cell.write_rank != rank) {
+      log_conflict(shadow, owner, off, epoch, cell.write_rank,
+                   RaceAccess::kWrite, rank, RaceAccess::kRead, target);
+    }
+    if (cell.read_epoch != epoch) {
+      cell.read_epoch = epoch;
+      cell.read_rank = rank;
+      cell.read_shared = false;
+    } else if (cell.read_rank != rank) {
+      cell.read_shared = true;
+    }
+  }
+}
+
+void RaceLedger::record_mutex(ArrayShadow& shadow, std::uint32_t owner,
+                              std::size_t off, std::size_t len,
+                              std::uint32_t rank, std::uint64_t epoch,
+                              RaceAccess kind, RaceTarget target) {
   std::scoped_lock lock(shadow.mutex_);
+  if (target == RaceTarget::kSize) {
+    check_cell_mutex(shadow, shadow.size_cells_[owner], owner, 0, rank, epoch,
+                     kind, target);
+    return;
+  }
   auto& block = shadow.cells_[owner];
   if (block.size() < off + len) block.resize(off + len);
   for (std::size_t i = off; i < off + len; ++i) {
-    ArrayShadow::Cell& cell = block[i];
-    if (kind == RaceAccess::kWrite) {
-      if (cell.write_epoch == epoch && cell.write_rank != rank) {
-        log_conflict(shadow, owner, i, epoch, cell.write_rank,
-                     RaceAccess::kWrite, rank, RaceAccess::kWrite);
-      }
-      if (cell.read_epoch == epoch &&
-          (cell.read_shared || cell.read_rank != rank)) {
-        // read_shared means several distinct ranks read this epoch, so at
-        // least one reader is foreign even if the recorded one is `rank`.
-        log_conflict(shadow, owner, i, epoch, cell.read_rank,
-                     RaceAccess::kRead, rank, RaceAccess::kWrite);
-      }
-      cell.write_epoch = epoch;
-      cell.write_rank = rank;
-    } else {
-      if (cell.write_epoch == epoch && cell.write_rank != rank) {
-        log_conflict(shadow, owner, i, epoch, cell.write_rank,
-                     RaceAccess::kWrite, rank, RaceAccess::kRead);
-      }
-      if (cell.read_epoch != epoch) {
-        cell.read_epoch = epoch;
-        cell.read_rank = rank;
-        cell.read_shared = false;
-      } else if (cell.read_rank != rank) {
-        cell.read_shared = true;
-      }
+    check_cell_mutex(shadow, block[i], owner, i, rank, epoch, kind, target);
+  }
+}
+
+void RaceLedger::record_sharded(ArrayShadow& shadow, std::uint32_t owner,
+                                std::size_t off, std::size_t len,
+                                std::uint32_t rank, std::uint64_t epoch,
+                                RaceAccess kind, RaceTarget target) {
+  auto& shard = shadow.shards_[owner];
+  const std::uint64_t r16 = encode_rank(rank);
+  const std::size_t end = off + len;
+
+  // Visit the affected cells as contiguous segment runs: `fn` receives a
+  // raw cell pointer, the first element index it covers, and the run
+  // length, so the hot loops below skip the per-element segment lookup.
+  // The size target lives in its dedicated one-cell-per-owner store.
+  auto for_cells = [&](auto&& fn) {
+    if (target == RaceTarget::kSize) {
+      fn(&shadow.size_shards_[owner], off, std::size_t{1});
+      return;
     }
+    std::size_t i = off;
+    while (i < end) {
+      std::size_t run_len = 0;
+      ArrayShadow::AtomicCell* cells = shard.run(i, run_len);
+      const std::size_t n = std::min(run_len, end - i);
+      fn(cells, i, n);
+      i += n;
+    }
+  };
+
+  if (kind == RaceAccess::kWrite) {
+    // Pass A: publish my write record per element.  The exchange returns
+    // the true previous record (RMWs read the latest value in modification
+    // order), so same-epoch foreign writes are detected exactly as under
+    // the mutex.
+    const std::uint64_t mine = pack_write(epoch, r16);
+    for_cells([&](ArrayShadow::AtomicCell* cells, std::size_t base,
+                  std::size_t n) {
+      for (std::size_t k = 0; k < n; ++k) {
+        const std::uint64_t prev =
+            cells[k].write_word.exchange(mine, std::memory_order_relaxed);
+        if (write_epoch(prev) == epoch && write_rank16(prev) != r16) {
+          log_conflict(shadow, owner, base + k, epoch,
+                       decode_rank(write_rank16(prev)), RaceAccess::kWrite,
+                       rank, RaceAccess::kWrite, target);
+        }
+      }
+    });
+    // Store-buffering fence: my write records are globally visible before
+    // I look for concurrent readers, and vice versa on the read side, so
+    // of two concurrent conflicting accesses at least one sees the other.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    // Pass B: cross-check against readers of the same epoch.
+    for_cells([&](ArrayShadow::AtomicCell* cells, std::size_t base,
+                  std::size_t n) {
+      for (std::size_t k = 0; k < n; ++k) {
+        const std::uint64_t r =
+            cells[k].read_word.load(std::memory_order_relaxed);
+        if (read_epoch(r) == epoch &&
+            (read_shared(r) || read_rank16(r) != r16)) {
+          log_conflict(shadow, owner, base + k, epoch,
+                       decode_rank(read_rank16(r)), RaceAccess::kRead, rank,
+                       RaceAccess::kWrite, target);
+        }
+      }
+    });
+  } else {
+    // Pass A: merge my read into the per-epoch reader record.  First
+    // reader of an epoch installs (epoch, rank); a second distinct rank
+    // sets the shared bit but keeps the first reader for diagnostics,
+    // matching the mutex cells.
+    const std::uint64_t fresh = pack_read(epoch, r16, false);
+    for_cells([&](ArrayShadow::AtomicCell* cells, std::size_t base,
+                  std::size_t n) {
+      (void)base;
+      for (std::size_t k = 0; k < n; ++k) {
+        auto& word = cells[k].read_word;
+        std::uint64_t cur = word.load(std::memory_order_relaxed);
+        for (;;) {
+          std::uint64_t desired;
+          if (read_epoch(cur) == epoch) {
+            if (read_shared(cur) || read_rank16(cur) == r16) break;
+            desired = cur | 1u;
+          } else {
+            desired = fresh;
+          }
+          if (word.compare_exchange_weak(cur, desired,
+                                         std::memory_order_relaxed)) {
+            break;
+          }
+        }
+      }
+    });
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    // Pass B: cross-check against a same-epoch foreign write.
+    for_cells([&](ArrayShadow::AtomicCell* cells, std::size_t base,
+                  std::size_t n) {
+      for (std::size_t k = 0; k < n; ++k) {
+        const std::uint64_t w =
+            cells[k].write_word.load(std::memory_order_relaxed);
+        if (write_epoch(w) == epoch && write_rank16(w) != r16) {
+          log_conflict(shadow, owner, base + k, epoch,
+                       decode_rank(write_rank16(w)), RaceAccess::kWrite, rank,
+                       RaceAccess::kRead, target);
+        }
+      }
+    });
   }
 }
 
@@ -66,7 +324,7 @@ void RaceLedger::log_conflict(const ArrayShadow& shadow, std::uint32_t owner,
                               std::size_t off, std::uint64_t epoch,
                               std::uint32_t first_rank, RaceAccess first_kind,
                               std::uint32_t second_rank,
-                              RaceAccess second_kind) {
+                              RaceAccess second_kind, RaceTarget target) {
   std::scoped_lock lock(log_mutex_);
   ++conflicts_;
   if (log_.size() >= kMaxDiagnostics) return;
@@ -79,6 +337,7 @@ void RaceLedger::log_conflict(const ArrayShadow& shadow, std::uint32_t owner,
   d.first_kind = first_kind;
   d.second_rank = second_rank;
   d.second_kind = second_kind;
+  d.target = target;
   log_.push_back(std::move(d));
 }
 
@@ -88,6 +347,12 @@ void RaceLedger::reset() {
     for (auto& shadow : arrays_) {
       std::scoped_lock cell_lock(shadow->mutex_);
       for (auto& block : shadow->cells_) block.clear();
+      for (auto& cell : shadow->size_cells_) cell = ArrayShadow::Cell{};
+      for (auto& shard : shadow->shards_) shard.clear();
+      for (std::uint32_t r = 0; r < shadow->nprocs_; ++r) {
+        shadow->size_shards_[r].write_word.store(0, std::memory_order_relaxed);
+        shadow->size_shards_[r].read_word.store(0, std::memory_order_relaxed);
+      }
     }
     // Shadows whose Spread died are no longer reachable by any record
     // call; drop our reference so they don't accumulate across runs.

@@ -9,10 +9,19 @@
 // still violate the publication protocol — same element, different ranks,
 // no barrier in between — which is exactly the property the ledger checks,
 // and why its detection is deterministic where TSan's is scheduling luck.
+//
+// Every deliberate-race test runs under both shadow stores (the sharded
+// default and the PR-1 mutex oracle) and expects identical diagnostics:
+// the sharded store is a performance representation, not a new checker.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <set>
+#include <span>
+#include <string>
 #include <thread>
+#include <tuple>
+#include <vector>
 
 #include "histcc/cc/parallel_cc.hpp"
 #include "histcc/hist/histogram.hpp"
@@ -33,6 +42,28 @@ void await(const std::atomic<int>& flag, int want) {
   while (flag.load(std::memory_order_acquire) != want) {
     std::this_thread::yield();
   }
+}
+
+/// Order-insensitive fingerprint of a diagnostic list.  The two shadow
+/// stores interleave their per-element checks differently, so equality is
+/// up to ordering — exactly the acceptance criterion.
+using DiagKey = std::tuple<std::string, std::uint32_t, std::size_t,
+                           std::uint64_t, std::uint32_t, int, std::uint32_t,
+                           int, int>;
+
+std::multiset<DiagKey> diag_keys(const std::vector<sc::RaceDiagnostic>& ds) {
+  std::multiset<DiagKey> keys;
+  for (const auto& d : ds) {
+    keys.insert({d.array, d.owner, d.offset, d.epoch, d.first_rank,
+                 static_cast<int>(d.first_kind), d.second_rank,
+                 static_cast<int>(d.second_kind),
+                 static_cast<int>(d.target)});
+  }
+  return keys;
+}
+
+std::string mode_name(const ::testing::TestParamInfo<sc::LedgerMode>& info) {
+  return info.param == sc::LedgerMode::kSharded ? "Sharded" : "Mutex";
 }
 
 }  // namespace
@@ -60,12 +91,22 @@ TEST(RaceLedger, EpochStartsAtOneAndCountsBarriers) {
   });
 }
 
-TEST(RaceLedger, WriteWriteConflictIsDetectedWithFullDiagnostic) {
-  if (!sc::Machine::race_ledger_compiled()) {
-    GTEST_SKIP() << "built without HISTCC_RACE_LEDGER";
+// ---------------------------------------------------------------------------
+// Deliberate races, parameterized over the shadow-store implementation.
+
+class RaceLedgerModes : public ::testing::TestWithParam<sc::LedgerMode> {
+ protected:
+  void SetUp() override {
+    if (!sc::Machine::race_ledger_compiled()) {
+      GTEST_SKIP() << "built without HISTCC_RACE_LEDGER";
+    }
   }
+};
+
+TEST_P(RaceLedgerModes, WriteWriteConflictIsDetectedWithFullDiagnostic) {
   sc::Machine machine(4);
   machine.set_race_policy(sc::RacePolicy::kRecord);
+  machine.set_race_ledger_mode(GetParam());
   sc::Spread<std::uint32_t> data(machine, 8, "racy_buf");
 
   // Ranks 0 and 1 both put to element 5 of rank 2's block in epoch 1,
@@ -96,6 +137,7 @@ TEST(RaceLedger, WriteWriteConflictIsDetectedWithFullDiagnostic) {
   EXPECT_EQ(d.second_rank, 1u);
   EXPECT_EQ(d.first_kind, sc::RaceAccess::kWrite);
   EXPECT_EQ(d.second_kind, sc::RaceAccess::kWrite);
+  EXPECT_EQ(d.target, sc::RaceTarget::kPayload);
 
   // The rendered message names everything a user needs to find the bug.
   const std::string msg = d.to_string();
@@ -106,12 +148,10 @@ TEST(RaceLedger, WriteWriteConflictIsDetectedWithFullDiagnostic) {
   EXPECT_NE(msg.find("epoch 1"), std::string::npos) << msg;
 }
 
-TEST(RaceLedger, ReadOfUnpublishedWriteIsDetected) {
-  if (!sc::Machine::race_ledger_compiled()) {
-    GTEST_SKIP() << "built without HISTCC_RACE_LEDGER";
-  }
+TEST_P(RaceLedgerModes, ReadOfUnpublishedWriteIsDetected) {
   sc::Machine machine(2);
   machine.set_race_policy(sc::RacePolicy::kRecord);
+  machine.set_race_ledger_mode(GetParam());
   sc::Spread<std::uint32_t> data(machine, 4, "unpublished");
 
   // Rank 0 writes its own block; rank 1 reads it in the same epoch —
@@ -142,11 +182,9 @@ TEST(RaceLedger, ReadOfUnpublishedWriteIsDetected) {
   EXPECT_EQ(d.second_kind, sc::RaceAccess::kRead);
 }
 
-TEST(RaceLedger, ThrowPolicyRaisesViolationFromRun) {
-  if (!sc::Machine::race_ledger_compiled()) {
-    GTEST_SKIP() << "built without HISTCC_RACE_LEDGER";
-  }
+TEST_P(RaceLedgerModes, ThrowPolicyRaisesViolationFromRun) {
   sc::Machine machine(2);
+  machine.set_race_ledger_mode(GetParam());
   sc::Spread<std::uint32_t> data(machine, 2, "throwing");
   std::atomic<int> turn{0};
   EXPECT_THROW(machine.run([&](sc::Proc& self) {
@@ -161,6 +199,187 @@ TEST(RaceLedger, ThrowPolicyRaisesViolationFromRun) {
   }),
                sc::RaceLedgerViolation);
 }
+
+// A size published on a different barrier than its probe: the owner
+// resizes (note_local_write republishes the size) and a peer calls
+// size_of in the same epoch.  The payload is never read, so only the new
+// size pseudo-cell can catch this.
+TEST_P(RaceLedgerModes, SizeProbeDesyncIsDetected) {
+  sc::Machine machine(2);
+  machine.set_race_policy(sc::RacePolicy::kRecord);
+  machine.set_race_ledger_mode(GetParam());
+  sc::SpreadVec<std::uint32_t> chg(machine, "chg");
+
+  std::atomic<int> turn{0};
+  machine.run([&](sc::Proc& self) {
+    if (self.rank() == 0) {
+      chg.local(self).assign(5, 42u);
+      chg.note_local_write(self);
+      turn.store(1, std::memory_order_release);
+    } else {
+      await(turn, 1);
+      (void)chg.size_of(self, 0);  // probes the un-barriered size
+    }
+    self.barrier();
+  });
+
+  auto* ledger = machine.race_ledger_registry();
+  ASSERT_NE(ledger, nullptr);
+  ASSERT_EQ(ledger->conflict_count(), 1u);
+  const auto diags = ledger->diagnostics();
+  ASSERT_FALSE(diags.empty());
+  const auto& d = diags.front();
+  EXPECT_EQ(d.array, "chg");
+  EXPECT_EQ(d.owner, 0u);
+  EXPECT_EQ(d.epoch, 1u);
+  EXPECT_EQ(d.target, sc::RaceTarget::kSize);
+  EXPECT_EQ(d.first_rank, 0u);
+  EXPECT_EQ(d.first_kind, sc::RaceAccess::kWrite);
+  EXPECT_EQ(d.second_rank, 1u);
+  EXPECT_EQ(d.second_kind, sc::RaceAccess::kRead);
+
+  const std::string msg = d.to_string();
+  EXPECT_NE(msg.find("size of rank 0's block"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("epoch 1"), std::string::npos) << msg;
+}
+
+TEST_P(RaceLedgerModes, SizePublishedAcrossBarrierIsClean) {
+  sc::Machine machine(2);
+  machine.set_race_ledger_mode(GetParam());
+  sc::SpreadVec<std::uint32_t> chg(machine, "chg_clean");
+  machine.run([&](sc::Proc& self) {
+    chg.local(self).assign(3 + self.rank(), self.rank());
+    chg.note_local_write(self);
+    self.barrier();  // publishes payload *and* size
+    const std::uint32_t peer = 1 - self.rank();
+    EXPECT_EQ(chg.size_of(self, peer), 3 + peer);
+    self.sync();
+    self.barrier();
+  });
+  EXPECT_EQ(machine.race_ledger_registry()->conflict_count(), 0u);
+}
+
+// Host-side block() taken while the SPMD program runs bypasses the Proc
+// access paths; the ledger records it under the host pseudo-rank at the
+// machine's current barrier generation and diagnoses the conflict.
+TEST_P(RaceLedgerModes, HostBlockProbeDuringRunIsDetected) {
+  sc::Machine machine(2);
+  machine.set_race_policy(sc::RacePolicy::kRecord);
+  machine.set_race_ledger_mode(GetParam());
+  sc::Spread<std::uint32_t> data(machine, 4, "host_probed");
+
+  std::atomic<int> turn{0};
+  machine.run([&](sc::Proc& self) {
+    if (self.rank() == 0) {
+      data.local(self)[2] = 9u;
+      data.note_local_write(self, 2, 1);
+      turn.store(1, std::memory_order_release);
+    } else {
+      await(turn, 1);
+      // A host-style probe of rank 0's block from inside the run — the
+      // bypass the instrumented access paths used to miss entirely.
+      (void)data.block(0);
+    }
+    self.barrier();
+  });
+
+  auto* ledger = machine.race_ledger_registry();
+  ASSERT_NE(ledger, nullptr);
+  ASSERT_GE(ledger->conflict_count(), 1u);
+  const auto diags = ledger->diagnostics();
+  ASSERT_FALSE(diags.empty());
+  const auto& d = diags.front();
+  EXPECT_EQ(d.array, "host_probed");
+  EXPECT_EQ(d.owner, 0u);
+  EXPECT_EQ(d.offset, 2u);
+  EXPECT_EQ(d.epoch, 1u);
+  EXPECT_EQ(d.first_rank, 0u);
+  EXPECT_EQ(d.second_rank, sc::kHostRank);
+  const std::string msg = d.to_string();
+  EXPECT_NE(msg.find("the host"), std::string::npos) << msg;
+}
+
+TEST_P(RaceLedgerModes, HostBlockProbeOutsideRunIsFree) {
+  sc::Machine machine(2);
+  machine.set_race_ledger_mode(GetParam());
+  sc::Spread<std::uint32_t> data(machine, 4, "host_outside");
+  data.block(0)[0] = 1u;  // before the run: host owns everything
+  machine.run([&](sc::Proc& self) {
+    data.note_local_write(self);
+    self.barrier();
+  });
+  EXPECT_EQ(data.block(0)[0], 1u);  // after the run: equally free
+  EXPECT_EQ(machine.race_ledger_registry()->conflict_count(), 0u);
+}
+
+// Overlapping multi-element races: both stores must agree element by
+// element (as a multiset — their check interleavings differ).
+TEST(RaceLedger, ShardedAndMutexAgreeOnOverlappingRaces) {
+  if (!sc::Machine::race_ledger_compiled()) {
+    GTEST_SKIP() << "built without HISTCC_RACE_LEDGER";
+  }
+  auto run_racy = [](sc::LedgerMode mode) {
+    sc::Machine machine(4);
+    machine.set_race_policy(sc::RacePolicy::kRecord);
+    machine.set_race_ledger_mode(mode);
+    sc::Spread<std::uint32_t> data(machine, 16, "mode_cmp");
+    std::vector<std::uint32_t> buf(8, 1u);
+    std::atomic<int> turn{0};
+    machine.run([&](sc::Proc& self) {
+      if (self.rank() == 0) {
+        data.put_block(self, 3, 0, std::span<const std::uint32_t>(buf).first(6));
+        turn.store(1, std::memory_order_release);
+      } else if (self.rank() == 1) {
+        await(turn, 1);
+        data.put_block(self, 3, 4, std::span<const std::uint32_t>(buf).first(4));
+        turn.store(2, std::memory_order_release);
+      } else if (self.rank() == 2) {
+        await(turn, 2);
+        std::vector<std::uint32_t> dst(4);
+        data.prefetch(self, dst, 3, 6, 4);
+      }
+      self.barrier();
+    });
+    return diag_keys(machine.race_ledger_registry()->diagnostics());
+  };
+
+  const auto sharded = run_racy(sc::LedgerMode::kSharded);
+  const auto mutex = run_racy(sc::LedgerMode::kMutex);
+  // Writes [0,6) and [4,8) overlap on {4,5}; the read [6,10) overlaps the
+  // second write on {6,7}: two WW and two WR diagnostics.
+  EXPECT_EQ(sharded.size(), 4u);
+  EXPECT_EQ(sharded, mutex);
+}
+
+// ledger_checks metering must stay exact under sharding: every recorded
+// element is one check, size probes count one each, in both stores.
+TEST(RaceLedger, CheckMeteringIsExactInBothModes) {
+  if (!sc::Machine::race_ledger_compiled()) {
+    GTEST_SKIP() << "built without HISTCC_RACE_LEDGER";
+  }
+  for (const auto mode : {sc::LedgerMode::kSharded, sc::LedgerMode::kMutex}) {
+    sc::Machine machine(2);
+    machine.set_race_ledger_mode(mode);
+    sc::Spread<std::uint32_t> data(machine, 4, "metered");
+    machine.run([&](sc::Proc& self) {
+      data.note_local_write(self, 0, 4);  // 4 checks
+      self.barrier();
+      (void)data.get(self, 1 - self.rank(), 0);  // 1 check
+      self.sync();
+      self.barrier();
+    });
+    EXPECT_EQ(machine.race_ledger_registry()->check_count(), 2u * (4u + 1u));
+    EXPECT_EQ(machine.stats(0).ledger_checks, 5u);
+    EXPECT_EQ(machine.stats(1).ledger_checks, 5u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ShadowStores, RaceLedgerModes,
+                         ::testing::Values(sc::LedgerMode::kSharded,
+                                           sc::LedgerMode::kMutex),
+                         mode_name);
+
+// ---------------------------------------------------------------------------
 
 TEST(RaceLedger, BarrierSeparatedAccessesAreClean) {
   if (!sc::Machine::race_ledger_compiled()) {
@@ -237,7 +456,9 @@ TEST(RaceLedger, RuntimeDisableSwitchesCheckingOff) {
 
 // The acceptance gate: the paper's algorithms, which follow the
 // publication discipline, must produce zero conflicts — no false
-// positives — at several machine sizes, under the throwing policy.
+// positives — at several machine sizes, under the throwing policy.  This
+// now also exercises the size-probe tracking: parallel_cc's merge phase
+// probes SpreadVec sizes every round.
 class RaceLedgerCleanAlgorithms : public ::testing::TestWithParam<std::uint32_t> {};
 
 TEST_P(RaceLedgerCleanAlgorithms, ParallelCcRunsClean) {

@@ -11,6 +11,12 @@
 # Stages: plain, asan-ubsan, tsan, race-ledger, tidy.
 # Exit status is non-zero if any requested stage fails; stages that
 # cannot run here (clang-tidy not installed) are skipped with a notice.
+#
+# Test labels: the plain/asan-ubsan/tsan ctest presets exclude tests
+# labelled `slow` (the differential conformance and schedule-stress
+# layers) to keep feedback fast; the race-ledger preset runs everything.
+# Select manually with `ctest -L ledger` / `ctest -LE slow` in any build
+# tree (labels are regexes: the compound `slow-ledger` matches both).
 set -u
 
 cd "$(dirname "$0")/.."
