@@ -3,6 +3,10 @@
 // shared-memory OpenMP backend and the sequential references on this
 // actual machine.  This is the "which one should a user call today"
 // benchmark; the paper-shape results live in the other binaries.
+//
+// Besides the human-readable table, every measured configuration is
+// appended to BENCH_host.json (bench_util.hpp JsonReport) so CI can diff
+// runs without scraping stdout.
 #include "bench_util.hpp"
 
 #include <benchmark/benchmark.h>
@@ -14,15 +18,13 @@ namespace {
 
 using namespace histcc;
 
-template <typename Fn>
-double best_of(int reps, Fn&& fn) {
-  double best = 1e9;
-  for (int rep = 0; rep < reps; ++rep) {
-    util::Timer timer;
-    fn();
-    best = std::min(best, timer.seconds());
-  }
-  return best;
+/// Record one (implementation, image) measurement: table row fields plus
+/// a JSON record with pixels/second throughput.
+void report(bench::JsonReport& json, const std::string& name,
+            std::uint32_t p, std::uint32_t n, bench::Timing timing) {
+  const double pixels = static_cast<double>(n) * static_cast<double>(n);
+  json.add(name + "_n" + std::to_string(n), p, timing.mean_s * 1e9,
+           timing.min_s * 1e9, pixels / timing.mean_s);
 }
 
 }  // namespace
@@ -46,6 +48,7 @@ int main(int argc, char** argv) {
   std::printf("Host comparison — wall-clock on this machine (%u hardware "
               "threads, virtual machine p = %u)\n\n",
               hw, p);
+  bench::JsonReport json("host");
 
   for (const std::uint32_t n : {256u, 512u, 1024u}) {
     const auto scene = img::make_darpa_like(n);
@@ -53,49 +56,59 @@ int main(int argc, char** argv) {
     cc::CcOptions options;
     options.rule = ccseq::ColourRule::kSameColour;
 
-    const double seq_s = best_of(3, [&] {
+    const auto seq = bench::sample(3, [&] {
       benchmark::DoNotOptimize(ccseq::label_components_unionfind(
           scene, ccseq::Connectivity::kEight,
           ccseq::ColourRule::kSameColour));
     });
-    const double omp_s = best_of(3, [&] {
+    const auto omp = bench::sample(3, [&] {
       benchmark::DoNotOptimize(omp::connected_components_omp(
           scene, ccseq::Connectivity::kEight,
           ccseq::ColourRule::kSameColour));
     });
-    const double vm_s = best_of(3, [&] {
+    const auto vm = bench::sample(3, [&] {
       benchmark::DoNotOptimize(
           cc::connected_components_parallel(machine, scene, options));
     });
+    report(json, "cc_seq_unionfind", 1, n, seq);
+    report(json, "cc_omp", p, n, omp);
+    report(json, "cc_splitc_vm", p, n, vm);
 
     std::printf("connected components, %ux%u DARPA-like scene:\n", n, n);
-    std::printf("  sequential union-find    %8.2f ms\n", seq_s * 1e3);
+    std::printf("  sequential union-find    %8.2f ms\n", seq.min_s * 1e3);
     std::printf("  OpenMP strip union-find  %8.2f ms  (speedup %.2fx)\n",
-                omp_s * 1e3, seq_s / omp_s);
+                omp.min_s * 1e3, seq.min_s / omp.min_s);
     std::printf("  virtual machine (paper)  %8.2f ms  (simulation overhead "
                 "%.1fx)\n\n",
-                vm_s * 1e3, vm_s / seq_s);
+                vm.min_s * 1e3, vm.min_s / seq.min_s);
   }
 
   for (const std::uint32_t n : {512u, 1024u}) {
     const auto image = img::make_random_grey(n, 256, n);
     splitc::Machine machine(p);
-    const double seq_s = best_of(3, [&] {
+    const auto seq = bench::sample(3, [&] {
       benchmark::DoNotOptimize(hist::histogram_seq(image, 256));
     });
-    const double omp_s = best_of(3, [&] {
+    const auto omp = bench::sample(3, [&] {
       benchmark::DoNotOptimize(omp::histogram_omp(image, 256));
     });
-    const double vm_s = best_of(3, [&] {
+    const auto vm = bench::sample(3, [&] {
       benchmark::DoNotOptimize(hist::histogram_parallel(machine, image, 256));
     });
+    report(json, "hist_seq", 1, n, seq);
+    report(json, "hist_omp", p, n, omp);
+    report(json, "hist_splitc_vm", p, n, vm);
+
     std::printf("histogram (k=256), %ux%u:\n", n, n);
-    std::printf("  sequential               %8.2f ms\n", seq_s * 1e3);
+    std::printf("  sequential               %8.2f ms\n", seq.min_s * 1e3);
     std::printf("  OpenMP                   %8.2f ms  (speedup %.2fx)\n",
-                omp_s * 1e3, seq_s / omp_s);
-    std::printf("  virtual machine (paper)  %8.2f ms\n\n", vm_s * 1e3);
+                omp.min_s * 1e3, seq.min_s / omp.min_s);
+    std::printf("  virtual machine (paper)  %8.2f ms\n\n", vm.min_s * 1e3);
   }
 
+  if (json.write()) {
+    std::printf("machine-readable results: %s\n\n", json.path().c_str());
+  }
   std::printf("note: the virtual machine exists to reproduce the paper's "
               "distributed\nexecution and cost model, not to win wall-clock "
               "races; the OpenMP backend is\nthe one to use for raw host "

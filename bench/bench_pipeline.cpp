@@ -1,0 +1,162 @@
+// Serving-pipeline load generator: closed-loop throughput of the
+// multi-tenant job pipeline (histcc/serve) on this host.
+//
+// Two experiments:
+//   1. Scaling — a fixed mixed workload (histogram + components jobs)
+//      driven closed-loop (2 submitters per pool worker, one job in
+//      flight per submitter) against pool sizes {1, 2, 4}: throughput
+//      should grow with the pool while p50/p99 stay bounded.
+//   2. Overload — a single submitter bursts fail-fast jobs at a pipeline
+//      with one worker and a 4-deep queue: the bounded queue must shed
+//      the excess as kRejected instead of buffering without limit, and
+//      every accepted job must still complete.
+//
+// Results go to stdout and to BENCH_pipeline.json (name, p, mean/min ns
+// per job, jobs/second, plus latency percentiles and outcome counters).
+#include "bench_util.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace histcc;
+
+struct LoadResult {
+  double wall_s;         ///< whole-experiment wall time
+  std::uint64_t jobs;    ///< jobs completed kOk
+  serve::PoolMetrics metrics;
+};
+
+/// Closed-loop driver: `submitters` threads each keep exactly one job in
+/// flight until `jobs_per_submitter` jobs have completed, alternating the
+/// two job kinds per iteration.
+LoadResult run_closed_loop(std::uint32_t pool_size, int submitters,
+                           int jobs_per_submitter) {
+  const auto grey = img::make_random_grey(128, 16, 17);
+  const auto pattern =
+      img::make_test_pattern(img::TestPattern::kFourSquares, 128);
+
+  serve::PipelineOptions options;
+  options.pool_size = pool_size;
+  options.max_procs = 4;  // 128x128 routes to p=4
+  serve::Pipeline pipeline(options);
+
+  std::atomic<std::uint64_t> ok{0};
+  util::Timer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(submitters));
+  for (int s = 0; s < submitters; ++s) {
+    threads.emplace_back([&, s] {
+      for (int i = 0; i < jobs_per_submitter; ++i) {
+        if ((s + i) % 2 == 0) {
+          auto result = pipeline.submit_histogram(grey, 16).result.get();
+          if (result.status == serve::JobStatus::kOk) ok++;
+        } else {
+          auto result = pipeline.submit_components(pattern).result.get();
+          if (result.status == serve::JobStatus::kOk) ok++;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall_s = timer.seconds();
+  return LoadResult{wall_s, ok.load(), pipeline.metrics()};
+}
+
+}  // namespace
+
+int main() {
+  bench::JsonReport json("pipeline");
+  std::printf("Serving pipeline — closed-loop load on this host (%u "
+              "hardware threads)\n\n",
+              std::max(1u, std::thread::hardware_concurrency()));
+
+  // Experiment 1: throughput scaling with pool size.
+  constexpr int kJobsPerSubmitter = 16;
+  std::printf("scaling: mixed histogram+components jobs, 128x128 (p=4 per "
+              "job), closed loop\n");
+  std::printf("  %-10s %-12s %-12s %-12s %-12s %s\n", "pool", "jobs/s",
+              "p50 ms", "p99 ms", "queue ms", "machines");
+  for (const std::uint32_t pool_size : {1u, 2u, 4u}) {
+    const int submitters = static_cast<int>(pool_size) * 2;
+    const auto r =
+        run_closed_loop(pool_size, submitters, kJobsPerSubmitter);
+    const auto total =
+        static_cast<std::uint64_t>(submitters) * kJobsPerSubmitter;
+    const double jobs_per_s = static_cast<double>(r.jobs) / r.wall_s;
+    const double mean_job_ns =
+        r.wall_s * 1e9 / static_cast<double>(total);
+    std::printf("  %-10u %-12.1f %-12.3f %-12.3f %-12.3f %llu\n", pool_size,
+                jobs_per_s, r.metrics.wall_p50_s * 1e3,
+                r.metrics.wall_p99_s * 1e3, r.metrics.mean_queue_s * 1e3,
+                static_cast<unsigned long long>(r.metrics.machines_built));
+    json.add("closed_loop_pool" + std::to_string(pool_size), 4, mean_job_ns,
+             mean_job_ns, jobs_per_s,
+             {{"pool_size", static_cast<double>(pool_size)},
+              {"jobs_ok", static_cast<double>(r.jobs)},
+              {"jobs_total", static_cast<double>(total)},
+              {"wall_p50_s", r.metrics.wall_p50_s},
+              {"wall_p90_s", r.metrics.wall_p90_s},
+              {"wall_p99_s", r.metrics.wall_p99_s},
+              {"mean_queue_s", r.metrics.mean_queue_s},
+              {"mean_run_s", r.metrics.mean_run_s},
+              {"machines_built",
+               static_cast<double>(r.metrics.machines_built)}});
+  }
+
+  // Experiment 2: overload against a bounded queue with fail-fast
+  // submission — the queue sheds load instead of growing without bound.
+  std::printf("\noverload: 1 worker, queue depth 4, burst of 64 fail-fast "
+              "submissions\n");
+  {
+    const auto grey = img::make_random_grey(128, 16, 23);
+    serve::PipelineOptions options;
+    options.pool_size = 1;
+    options.max_procs = 4;
+    options.queue_capacity = 4;
+    serve::Pipeline pipeline(options);
+    serve::JobOptions fail_fast;
+    fail_fast.overflow = serve::OverflowPolicy::kReject;
+
+    constexpr int kBurst = 64;
+    std::vector<serve::PendingJob<std::vector<std::uint32_t>>> jobs;
+    jobs.reserve(kBurst);
+    util::Timer timer;
+    for (int i = 0; i < kBurst; ++i) {
+      jobs.push_back(pipeline.submit_histogram(grey, 16, fail_fast));
+    }
+    std::uint64_t accepted_ok = 0;
+    std::uint64_t rejected = 0;
+    for (auto& job : jobs) {
+      const auto result = job.result.get();
+      if (result.status == serve::JobStatus::kRejected) {
+        rejected++;
+      } else if (result.status == serve::JobStatus::kOk) {
+        accepted_ok++;
+      }
+    }
+    const double wall_s = timer.seconds();
+    const auto metrics = pipeline.metrics();
+    std::printf("  accepted+completed %llu, rejected %llu (queue bounded at "
+                "%zu), %.1f jobs/s served\n",
+                static_cast<unsigned long long>(accepted_ok),
+                static_cast<unsigned long long>(rejected),
+                options.queue_capacity,
+                static_cast<double>(accepted_ok) / wall_s);
+    json.add("overload_burst", 4, wall_s * 1e9 / kBurst, wall_s * 1e9 / kBurst,
+             static_cast<double>(accepted_ok) / wall_s,
+             {{"burst", static_cast<double>(kBurst)},
+              {"accepted_ok", static_cast<double>(accepted_ok)},
+              {"rejected", static_cast<double>(rejected)},
+              {"queue_capacity", static_cast<double>(options.queue_capacity)},
+              {"metric_rejected", static_cast<double>(metrics.rejected)}});
+  }
+
+  if (json.write()) {
+    std::printf("\nmachine-readable results: %s\n", json.path().c_str());
+  }
+  return 0;
+}

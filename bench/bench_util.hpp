@@ -13,14 +13,99 @@
 ///             MachineProfile of one of the paper's machines.  This is the
 ///             number whose *shape* should match the paper's figures.
 
+#include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "histcc/histcc.hpp"
 
 namespace histcc::bench {
+
+/// Mean and best wall-clock seconds over `reps` runs of `fn`.
+struct Timing {
+  double mean_s;
+  double min_s;
+};
+
+template <typename Fn>
+Timing sample(int reps, Fn&& fn) {
+  double total = 0;
+  double best = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    util::Timer timer;
+    fn();
+    const double s = timer.seconds();
+    total += s;
+    if (s < best) best = s;
+  }
+  return Timing{total / reps, best};
+}
+
+/// Machine-readable sink for benchmark results: BENCH_<tag>.json in the
+/// working directory, one flat record per measured configuration so CI
+/// and plotting scripts need no table scraping.  Core fields are always
+/// (name, p, mean_ns, min_ns, throughput); a bench can append extra
+/// numeric fields (percentiles, counters) per record.
+class JsonReport {
+ public:
+  /// \param bench short tag ("host", "pipeline"); the file becomes
+  ///              BENCH_<bench>.json.
+  explicit JsonReport(std::string bench)
+      : bench_(std::move(bench)), path_("BENCH_" + bench_ + ".json") {}
+
+  /// \param throughput work items per second (pixels, jobs, ...); the
+  ///                   record's `name` says which.
+  void add(std::string name, std::uint32_t p, double mean_ns, double min_ns,
+           double throughput,
+           std::vector<std::pair<std::string, double>> extra = {}) {
+    entries_.push_back(Entry{std::move(name), p, mean_ns, min_ns, throughput,
+                             std::move(extra)});
+  }
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  /// Write the report; returns false (and prints to stderr) on I/O error.
+  bool write() const {
+    std::FILE* out = std::fopen(path_.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path_.c_str());
+      return false;
+    }
+    std::fprintf(out, "{\n  \"bench\": \"%s\",\n  \"results\": [\n",
+                 bench_.c_str());
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      std::fprintf(out,
+                   "    {\"name\": \"%s\", \"p\": %u, \"mean_ns\": %.1f, "
+                   "\"min_ns\": %.1f, \"throughput\": %.6g",
+                   e.name.c_str(), e.p, e.mean_ns, e.min_ns, e.throughput);
+      for (const auto& [key, value] : e.extra) {
+        std::fprintf(out, ", \"%s\": %.6g", key.c_str(), value);
+      }
+      std::fprintf(out, "}%s\n", i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    return true;
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    std::uint32_t p;
+    double mean_ns;
+    double min_ns;
+    double throughput;
+    std::vector<std::pair<std::string, double>> extra;
+  };
+
+  std::string bench_;
+  std::string path_;
+  std::vector<Entry> entries_;
+};
 
 /// Modeled total / comm / comp seconds for the max-over-processors ledger
 /// of the last run on `machine`.

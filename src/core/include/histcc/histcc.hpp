@@ -18,6 +18,8 @@
 ///   histcc/cc/*       — the parallel CC algorithm and baselines
 ///   histcc/morph/*    — binary morphology (halo-exchange stencils)
 ///   histcc/omp/*      — shared-memory (OpenMP) host implementations
+///   histcc/serve/*    — multi-tenant job pipeline: machine pool, bounded
+///                       queue, async jobs with deadlines (docs/serving.md)
 ///
 /// The `histcc::` functions below are the one-call entry points most
 /// applications want: construct a `Machine` with the desired virtual
@@ -46,6 +48,11 @@
 #include "histcc/image/pgm_io.hpp"
 #include "histcc/morph/morphology.hpp"
 #include "histcc/omp/parallel_host.hpp"
+#include "histcc/serve/job.hpp"
+#include "histcc/serve/job_queue.hpp"
+#include "histcc/serve/machine_pool.hpp"
+#include "histcc/serve/metrics.hpp"
+#include "histcc/serve/pipeline.hpp"
 #include "histcc/sortutil/radix.hpp"
 #include "histcc/splitc/machine.hpp"
 #include "histcc/splitc/profile.hpp"

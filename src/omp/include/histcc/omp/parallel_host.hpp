@@ -23,16 +23,41 @@
 #include "histcc/cc_seq/common.hpp"
 #include "histcc/image/image.hpp"
 
+#if defined(__SANITIZE_THREAD__)
+#define HISTCC_TSAN_ACTIVE 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define HISTCC_TSAN_ACTIVE 1
+#endif
+#endif
+#ifndef HISTCC_TSAN_ACTIVE
+#define HISTCC_TSAN_ACTIVE 0
+#endif
+
 namespace histcc::omp {
 
-/// Number of threads the OpenMP backend will use (1 when built serially).
+/// True when this build is instrumented by ThreadSanitizer.  libgomp is
+/// not TSan-instrumented, so TSan cannot see the fork/join barriers of
+/// `#pragma omp parallel` regions and reports false races between phases
+/// that are correctly barrier-separated.  The backend therefore runs
+/// single-threaded under TSan (num_threads is a request OpenMP may
+/// legitimately shrink); thread-level verification of the OpenMP
+/// algorithms is the epoch checker's job (epoch_check.hpp), which runs
+/// with real teams in every non-TSan preset.
+[[nodiscard]] constexpr bool tsan_active() noexcept {
+  return HISTCC_TSAN_ACTIVE != 0;
+}
+
+/// Number of threads the OpenMP backend will use (1 when built serially
+/// or under ThreadSanitizer — see tsan_active()).
 [[nodiscard]] unsigned backend_threads() noexcept;
 
 /// Histogram with per-thread tallies + parallel reduction.  Same contract
 /// as hist::histogram_seq (k a power of two in [2, 256], pixels < k).
 /// `threads` sets the team size explicitly — 0 means backend_threads();
 /// any count (including non-powers-of-two and oversubscription) gives
-/// bit-identical results.  When the epoch checker is enabled
+/// bit-identical results.  Explicit counts are requests: under TSan the
+/// team shrinks to 1 (see tsan_active()).  When the epoch checker is enabled
 /// (epoch_check.hpp) the run self-verifies its barrier discipline.
 [[nodiscard]] std::vector<std::uint32_t> histogram_omp(
     const img::GreyImage& image, std::uint32_t k, unsigned threads = 0);
@@ -47,7 +72,8 @@ namespace histcc::omp {
 /// Union-by-minimum keeps the canonical labeling, so the output equals
 /// ccseq::label_components_* exactly.  `threads` sets the team size
 /// explicitly (0 = backend_threads()); the count is clamped so every
-/// strip spans at least two rows.  When the epoch checker is enabled
+/// strip spans at least two rows, and shrinks to 1 under TSan (see
+/// tsan_active()).  When the epoch checker is enabled
 /// (epoch_check.hpp) the run self-verifies its barrier discipline.
 [[nodiscard]] img::LabelImage connected_components_omp(
     const img::GreyImage& image,

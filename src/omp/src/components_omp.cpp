@@ -107,6 +107,9 @@ img::LabelImage connected_components_omp(const img::GreyImage& image,
 
 #ifdef _OPENMP
   if (threads == 0) threads = backend_threads();
+  // Explicit counts are requests, not guarantees: under TSan they shrink
+  // to 1 like backend_threads() does (see tsan_active()).
+  if (tsan_active()) threads = 1;
   // Every strip must span at least two rows so pass 1's "first row links
   // westwards only" rule keeps the strips' union-find updates disjoint.
   threads = std::min<unsigned>(threads, std::max(1u, rows / 2));

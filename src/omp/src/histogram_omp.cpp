@@ -14,6 +14,7 @@ namespace histcc::omp {
 
 unsigned backend_threads() noexcept {
 #ifdef _OPENMP
+  if (tsan_active()) return 1;
   return static_cast<unsigned>(omp_get_max_threads());
 #else
   return 1;
@@ -32,7 +33,10 @@ std::vector<std::uint32_t> histogram_omp(const img::GreyImage& image,
 
   std::vector<std::uint32_t> counts(k, 0);
 #ifdef _OPENMP
-  const unsigned nt = threads == 0 ? backend_threads() : threads;
+  // Explicit counts are requests, not guarantees: under TSan they shrink
+  // to 1 like backend_threads() does (see tsan_active()).
+  const unsigned nt =
+      tsan_active() ? 1 : (threads == 0 ? backend_threads() : threads);
   // Flat per-thread tallies: thread t owns [t*k, (t+1)*k).  Epoch
   // structure is the paper's publication discipline verbatim: tally into
   // your own block, barrier, reduce everyone's blocks.

@@ -1,0 +1,124 @@
+#ifndef HISTCC_SERVE_JOB_HPP
+#define HISTCC_SERVE_JOB_HPP
+
+/// \file job.hpp
+/// Vocabulary types of the serving layer: job outcomes, per-job options
+/// (deadline, overflow policy, processor override), and the cancellation
+/// handle a submission returns alongside its future.
+///
+/// A job is never dropped silently: every submitted job's future resolves
+/// to a JobResult whose status says exactly what happened — completed on
+/// the parallel machine (kOk), completed on the sequential fallback after
+/// the parallel path failed (kDegraded, with the reason), finished past
+/// its deadline (kTimedOut, value still attached when one was computed),
+/// cancelled before execution (kCancelled), refused at submission because
+/// the queue was full or the pipeline shut down (kRejected), or failed on
+/// both paths (kFailed, with the error).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <future>
+
+namespace histcc::serve {
+
+/// Steady clock used for deadlines and latency accounting.
+using Clock = std::chrono::steady_clock;
+
+/// Terminal state of a job; see the file comment for the full semantics.
+enum class JobStatus : std::uint8_t {
+  kOk,         ///< completed on the intended path
+  kDegraded,   ///< parallel path failed; sequential fallback completed
+  kTimedOut,   ///< deadline expired (value present if the run finished)
+  kCancelled,  ///< cancelled (or pipeline aborted) before execution
+  kRejected,   ///< refused at submission: queue full or pipeline shut down
+  kFailed,     ///< both parallel and fallback paths threw
+};
+
+[[nodiscard]] constexpr const char* to_string(JobStatus s) noexcept {
+  switch (s) {
+    case JobStatus::kOk: return "ok";
+    case JobStatus::kDegraded: return "degraded";
+    case JobStatus::kTimedOut: return "timed-out";
+    case JobStatus::kCancelled: return "cancelled";
+    case JobStatus::kRejected: return "rejected";
+    case JobStatus::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+/// What submit does when the bounded job queue is full.
+enum class OverflowPolicy : std::uint8_t {
+  kBlock,   ///< block the submitting thread until a slot frees
+  kReject,  ///< fail fast: resolve the future immediately with kRejected
+};
+
+/// Per-job knobs.  Defaults: no deadline, blocking backpressure, processor
+/// count chosen from the image size (the paper's n^2/p tradeoff).
+struct JobOptions {
+  /// Wall-clock budget measured from submission.  Expires in the queue:
+  /// the job is resolved kTimedOut without running.  A job already
+  /// executing is never interrupted mid-run (an SPMD program cannot be
+  /// safely torn down at an arbitrary point); if it finishes past the
+  /// deadline the result is kTimedOut with the value attached.
+  std::optional<Clock::duration> deadline{};
+  OverflowPolicy overflow = OverflowPolicy::kBlock;
+  /// 0 = route automatically.  Otherwise run the splitc parallel path on
+  /// exactly this many virtual processors (rounded down to a power of
+  /// two, capped at the pipeline's max_procs); an incompatible image
+  /// shape then degrades to the sequential path rather than erroring.
+  std::uint32_t force_procs = 0;
+};
+
+/// Cancellation handle, shared between the submitter and the pipeline.
+/// cancel() is advisory: it wins only while the job is still queued.
+class JobControl {
+ public:
+  explicit JobControl(std::uint64_t id) noexcept : id_(id) {}
+
+  /// Monotonic per-pipeline job id (submission order).
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_release); }
+
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::uint64_t id_;
+  std::atomic<bool> cancelled_{false};
+};
+
+/// What a job's future resolves to.
+template <typename T>
+struct JobResult {
+  JobStatus status = JobStatus::kFailed;
+  /// The computed value; absent when the job never ran (cancelled,
+  /// rejected, queue-expired deadline) or failed on both paths.
+  std::optional<T> value{};
+  /// Failure/degradation explanation (what() of the triggering exception).
+  std::string error{};
+  /// Virtual processors the completed path used (1 = sequential).
+  std::uint32_t procs = 0;
+  double queue_s = 0;  ///< submission -> dequeue
+  double run_s = 0;    ///< dequeue -> completion
+
+  /// True when a value was produced (kOk, kDegraded, or a kTimedOut run
+  /// that finished late).
+  [[nodiscard]] bool has_value() const noexcept { return value.has_value(); }
+};
+
+/// A submitted job: the future carrying its result plus its cancellation
+/// handle.
+template <typename T>
+struct PendingJob {
+  std::future<JobResult<T>> result;
+  std::shared_ptr<JobControl> control;
+};
+
+}  // namespace histcc::serve
+
+#endif  // HISTCC_SERVE_JOB_HPP

@@ -1,0 +1,103 @@
+#ifndef HISTCC_SERVE_MACHINE_POOL_HPP
+#define HISTCC_SERVE_MACHINE_POOL_HPP
+
+/// \file machine_pool.hpp
+/// A pool of persistent, reusable SPMD machines.
+///
+/// Every `Machine` here is built in WorkerMode::kPersistent: its p worker
+/// threads are spawned once and parked between jobs, so consecutive jobs
+/// on a slot pay a condition-variable wakeup instead of p thread
+/// creations.  acquire(p) hands out an idle slot as a RAII lease,
+/// preferring a slot that already holds a machine of the requested size;
+/// only when the job mix shifts sizes does a slot rebuild its machine
+/// (machines_built() counts those, so tests and benchmarks can assert
+/// that a steady workload stops churning).  When every slot is busy,
+/// acquire blocks — the pool is the concurrency limiter; the bounded
+/// JobQueue in front of it is the memory limiter.
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "histcc/splitc/machine.hpp"
+
+namespace histcc::serve {
+
+class MachinePool {
+ public:
+  /// \param slots      concurrently leasable machines (>= 1).
+  /// \param max_procs  largest virtual-processor count a lease may ask
+  ///                   for (power of two).
+  MachinePool(std::uint32_t slots, std::uint32_t max_procs);
+
+  MachinePool(const MachinePool&) = delete;
+  MachinePool& operator=(const MachinePool&) = delete;
+
+  /// Exclusive use of one pooled machine; releases the slot on
+  /// destruction.  Movable, not copyable.
+  class Lease {
+   public:
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), slot_(other.slot_), machine_(other.machine_) {
+      other.pool_ = nullptr;
+    }
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { release(); }
+
+    [[nodiscard]] splitc::Machine& machine() const noexcept {
+      return *machine_;
+    }
+
+    /// Give the slot back early (idempotent; the destructor also does).
+    void release() noexcept;
+
+   private:
+    friend class MachinePool;
+    Lease(MachinePool* pool, std::size_t slot,
+          splitc::Machine* machine) noexcept
+        : pool_(pool), slot_(slot), machine_(machine) {}
+
+    MachinePool* pool_;
+    std::size_t slot_;
+    splitc::Machine* machine_;
+  };
+
+  /// Lease a warm machine with exactly `procs` virtual processors
+  /// (a power of two <= max_procs), blocking until a slot is free.
+  [[nodiscard]] Lease acquire(std::uint32_t procs);
+
+  [[nodiscard]] std::uint32_t slots() const noexcept {
+    return static_cast<std::uint32_t>(slots_.size());
+  }
+  [[nodiscard]] std::uint32_t max_procs() const noexcept { return max_procs_; }
+
+  /// Machines constructed so far, first builds and rebuilds alike.  A
+  /// steady workload converges: once every slot holds the sizes the mix
+  /// needs, this stops moving.
+  [[nodiscard]] std::uint64_t machines_built() const;
+
+  /// Slots not currently leased.
+  [[nodiscard]] std::uint32_t idle() const;
+
+ private:
+  struct Slot {
+    std::unique_ptr<splitc::Machine> machine;
+    bool busy = false;
+  };
+
+  void release_slot(std::size_t index) noexcept;
+
+  mutable std::mutex mutex_;
+  std::condition_variable slot_free_;
+  std::vector<Slot> slots_;
+  std::uint32_t max_procs_;
+  std::uint64_t built_ = 0;
+};
+
+}  // namespace histcc::serve
+
+#endif  // HISTCC_SERVE_MACHINE_POOL_HPP

@@ -1,0 +1,74 @@
+#include "histcc/serve/machine_pool.hpp"
+
+#include "histcc/util/math.hpp"
+#include "histcc/util/require.hpp"
+
+namespace histcc::serve {
+
+MachinePool::MachinePool(std::uint32_t slots, std::uint32_t max_procs)
+    : slots_(slots), max_procs_(max_procs) {
+  HISTCC_REQUIRE(slots >= 1, "pool needs at least one slot");
+  HISTCC_REQUIRE(max_procs >= 1 && util::is_pow2(max_procs),
+                 "max_procs must be a power of two");
+}
+
+MachinePool::Lease MachinePool::acquire(std::uint32_t procs) {
+  HISTCC_REQUIRE(procs >= 1 && util::is_pow2(procs) && procs <= max_procs_,
+                 "lease size must be a power of two within max_procs");
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    // Best idle slot: exact-size machine beats an empty slot beats
+    // rebuilding a differently-sized one.
+    std::size_t chosen = slots_.size();
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      const Slot& slot = slots_[i];
+      if (slot.busy) continue;
+      if (slot.machine && slot.machine->nprocs() == procs) {
+        chosen = i;
+        break;
+      }
+      if (chosen == slots_.size() || (slots_[chosen].machine && !slot.machine)) {
+        chosen = i;
+      }
+    }
+    if (chosen < slots_.size()) {
+      Slot& slot = slots_[chosen];
+      if (!slot.machine || slot.machine->nprocs() != procs) {
+        slot.machine = std::make_unique<splitc::Machine>(
+            procs, splitc::WorkerMode::kPersistent);
+        built_ += 1;
+      }
+      slot.busy = true;
+      return Lease(this, chosen, slot.machine.get());
+    }
+    slot_free_.wait(lock);
+  }
+}
+
+void MachinePool::release_slot(std::size_t index) noexcept {
+  {
+    std::scoped_lock lock(mutex_);
+    slots_[index].busy = false;
+  }
+  slot_free_.notify_one();
+}
+
+void MachinePool::Lease::release() noexcept {
+  if (pool_ == nullptr) return;
+  pool_->release_slot(slot_);
+  pool_ = nullptr;
+}
+
+std::uint64_t MachinePool::machines_built() const {
+  std::scoped_lock lock(mutex_);
+  return built_;
+}
+
+std::uint32_t MachinePool::idle() const {
+  std::scoped_lock lock(mutex_);
+  std::uint32_t n = 0;
+  for (const Slot& slot : slots_) n += slot.busy ? 0u : 1u;
+  return n;
+}
+
+}  // namespace histcc::serve

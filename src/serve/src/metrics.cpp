@@ -1,0 +1,101 @@
+#include "histcc/serve/metrics.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace histcc::serve {
+
+namespace {
+
+/// Histogram bucket of a wall latency: floor(log2(ns)), clamped.
+std::size_t bucket_of(double seconds) noexcept {
+  const double ns = seconds * 1e9;
+  if (ns < 1.0) return 0;
+  const auto n = static_cast<std::uint64_t>(ns);
+  const auto b = static_cast<std::size_t>(std::bit_width(n) - 1);
+  return b < 63 ? b : 63;
+}
+
+}  // namespace
+
+void MetricsRecorder::on_dequeue(double queue_s) noexcept {
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  dequeued_.fetch_add(1, std::memory_order_relaxed);
+  queue_ns_total_.fetch_add(static_cast<std::uint64_t>(queue_s * 1e9),
+                            std::memory_order_relaxed);
+}
+
+void MetricsRecorder::on_finish(JobStatus status, double wall_s,
+                                double run_s) noexcept {
+  in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  run_ns_total_.fetch_add(static_cast<std::uint64_t>(run_s * 1e9),
+                          std::memory_order_relaxed);
+  wall_hist_[bucket_of(wall_s)].fetch_add(1, std::memory_order_relaxed);
+  switch (status) {
+    case JobStatus::kOk:
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case JobStatus::kDegraded:
+      degraded_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case JobStatus::kTimedOut:
+      timed_out_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case JobStatus::kCancelled:
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case JobStatus::kRejected:  // rejected jobs never reach a worker
+    case JobStatus::kFailed:
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+}
+
+double MetricsRecorder::quantile(double q) const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& b : wall_hist_) total += b.load(std::memory_order_relaxed);
+  if (total == 0) return 0;
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(total - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += wall_hist_[b].load(std::memory_order_relaxed);
+    if (seen > rank) {
+      // Geometric midpoint of [2^b, 2^(b+1)) ns.
+      return std::exp2(static_cast<double>(b) + 0.5) * 1e-9;
+    }
+  }
+  return 0;
+}
+
+PoolMetrics MetricsRecorder::snapshot(std::size_t queue_depth,
+                                      std::uint32_t pool_size,
+                                      std::uint64_t machines_built) const {
+  PoolMetrics m;
+  m.submitted = submitted_.load(std::memory_order_relaxed);
+  m.rejected = rejected_.load(std::memory_order_relaxed);
+  m.completed = completed_.load(std::memory_order_relaxed);
+  m.degraded = degraded_.load(std::memory_order_relaxed);
+  m.timed_out = timed_out_.load(std::memory_order_relaxed);
+  m.cancelled = cancelled_.load(std::memory_order_relaxed);
+  m.failed = failed_.load(std::memory_order_relaxed);
+  m.queue_depth = queue_depth;
+  m.in_flight = in_flight_.load(std::memory_order_relaxed);
+  m.pool_size = pool_size;
+  m.machines_built = machines_built;
+  const std::uint64_t dequeued = dequeued_.load(std::memory_order_relaxed);
+  if (dequeued > 0) {
+    m.mean_queue_s =
+        static_cast<double>(queue_ns_total_.load(std::memory_order_relaxed)) *
+        1e-9 / static_cast<double>(dequeued);
+    m.mean_run_s =
+        static_cast<double>(run_ns_total_.load(std::memory_order_relaxed)) *
+        1e-9 / static_cast<double>(dequeued);
+  }
+  m.wall_p50_s = quantile(0.50);
+  m.wall_p90_s = quantile(0.90);
+  m.wall_p99_s = quantile(0.99);
+  return m;
+}
+
+}  // namespace histcc::serve

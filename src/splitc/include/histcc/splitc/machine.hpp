@@ -20,9 +20,13 @@
 /// and wall-clock time only for host-scale runs.
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "histcc/splitc/barrier.hpp"
@@ -39,6 +43,20 @@ enum class LedgerMode : std::uint8_t;
 enum class RacePolicy : std::uint8_t {
   kThrow,   ///< rethrow as RaceLedgerViolation after the program finishes
   kRecord,  ///< only record; inspect via Machine::race_ledger_registry()
+};
+
+/// How Machine::run provides its p threads.
+enum class WorkerMode : std::uint8_t {
+  /// Spawn p OS threads per run() and join them before returning — the
+  /// historical behaviour, cheapest for a machine that runs one program.
+  kPerRun,
+  /// Spawn p worker threads on the first run() and park them on a
+  /// condition variable between programs; run() hands the program to the
+  /// warm workers.  This is what a serving pool wants: consecutive jobs
+  /// on the same machine pay a wakeup, not p thread creations
+  /// (histcc/serve/machine_pool.hpp).  Observable behaviour of run() is
+  /// identical in both modes.
+  kPersistent,
 };
 
 /// Per-processor handle passed to the SPMD program.  One `Proc` exists per
@@ -142,13 +160,18 @@ class Proc {
 class Machine {
  public:
   /// \param nprocs number of virtual processors; must be a power of two.
-  explicit Machine(std::uint32_t nprocs);
+  /// \param mode   per-run thread spawning (default) or warm persistent
+  ///               workers (see WorkerMode).
+  explicit Machine(std::uint32_t nprocs,
+                   WorkerMode mode = WorkerMode::kPerRun);
   ~Machine();
 
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;
 
   [[nodiscard]] std::uint32_t nprocs() const noexcept { return nprocs_; }
+
+  [[nodiscard]] WorkerMode worker_mode() const noexcept { return mode_; }
 
   /// Logical processor grid shape (Section 3): v = 2^floor(d/2) rows,
   /// w = 2^ceil(d/2) columns for p = 2^d.
@@ -241,6 +264,16 @@ class Machine {
   }
 
  private:
+  /// Per-rank perturbation stream derived from the machine seed (0 = off).
+  [[nodiscard]] std::uint64_t perturb_state_for(
+      std::uint32_t rank) const noexcept;
+  void run_per_run(const std::function<void(Proc&)>& program);
+  void run_persistent(const std::function<void(Proc&)>& program);
+  void execute_as(std::uint32_t rank,
+                  const std::function<void(Proc&)>& program);
+  void start_workers();
+  void stop_workers() noexcept;
+
   std::uint32_t nprocs_;
   util::GridShape grid_;
   Barrier barrier_;
@@ -251,6 +284,23 @@ class Machine {
   RacePolicy race_policy_ = RacePolicy::kThrow;
   std::uint64_t perturb_seed_ = 0;
   bool running_ = false;
+
+  // First exception thrown by any rank in the current run (both modes).
+  std::mutex error_mutex_;
+  std::exception_ptr first_error_;
+
+  // Persistent-worker state: workers park on ctl_cv_ until job_generation_
+  // advances, execute job_program_, then decrement job_remaining_ (the
+  // last one signals done_cv_).  All guarded by ctl_mutex_.
+  WorkerMode mode_;
+  std::vector<std::thread> workers_;
+  std::mutex ctl_mutex_;
+  std::condition_variable ctl_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(Proc&)>* job_program_ = nullptr;
+  std::uint64_t job_generation_ = 0;
+  std::uint32_t job_remaining_ = 0;
+  bool workers_stop_ = false;
 };
 
 }  // namespace histcc::splitc

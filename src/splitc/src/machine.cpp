@@ -5,6 +5,7 @@
 #include <exception>
 #include <mutex>
 #include <thread>
+#include <utility>
 
 #include "histcc/splitc/race_ledger.hpp"
 #include "histcc/util/require.hpp"
@@ -48,12 +49,13 @@ void Proc::barrier() {
   epoch_ += 1;
 }
 
-Machine::Machine(std::uint32_t nprocs)
+Machine::Machine(std::uint32_t nprocs, WorkerMode mode)
     : nprocs_(nprocs),
       grid_(util::GridShape{1, 1}),
       barrier_(nprocs),
       stats_(nprocs),
-      served_(std::make_unique<std::atomic<std::uint64_t>[]>(nprocs)) {
+      served_(std::make_unique<std::atomic<std::uint64_t>[]>(nprocs)),
+      mode_(mode) {
   HISTCC_REQUIRE(nprocs >= 1 && util::is_pow2(nprocs),
                  "processor count must be a power of two");
   grid_ = util::grid_shape(nprocs);
@@ -64,11 +66,97 @@ Machine::Machine(std::uint32_t nprocs)
   reset_stats();
 }
 
-Machine::~Machine() = default;
+Machine::~Machine() { stop_workers(); }
 
 void Machine::set_race_ledger_mode(LedgerMode mode) {
   HISTCC_REQUIRE(!running_, "cannot switch ledger mode mid-run");
   if (race_ledger_) race_ledger_->set_mode(mode);
+}
+
+std::uint64_t Machine::perturb_state_for(std::uint32_t rank) const noexcept {
+  // Derive per-rank perturbation streams from the machine seed; | 1 keeps
+  // the state nonzero (0 means "off") for every seed and rank.
+  if (perturb_seed_ == 0) return 0;
+  return (perturb_seed_ ^
+          (0x9E3779B97F4A7C15ull * (static_cast<std::uint64_t>(rank) + 1))) |
+         1u;
+}
+
+void Machine::execute_as(std::uint32_t rank,
+                         const std::function<void(Proc&)>& program) {
+  Proc proc(rank, nprocs_, grid_, &barrier_, &stats_[rank], served_.get());
+  proc.perturb_state_ = perturb_state_for(rank);
+  try {
+    program(proc);
+  } catch (const BarrierAborted&) {
+    // A peer failed first; its exception is the one to report.
+  } catch (...) {
+    {
+      std::scoped_lock lock(error_mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    // Unblock peers waiting at the barrier so the program tears down
+    // instead of deadlocking.
+    barrier_.abort_all();
+  }
+}
+
+void Machine::run_per_run(const std::function<void(Proc&)>& program) {
+  std::vector<std::thread> threads;
+  threads.reserve(nprocs_);
+  for (std::uint32_t rank = 0; rank < nprocs_; ++rank) {
+    threads.emplace_back([&, rank] { execute_as(rank, program); });
+  }
+  for (auto& t : threads) t.join();
+}
+
+void Machine::start_workers() {
+  if (!workers_.empty()) return;
+  workers_.reserve(nprocs_);
+  for (std::uint32_t rank = 0; rank < nprocs_; ++rank) {
+    workers_.emplace_back([this, rank] {
+      std::uint64_t seen = 0;
+      for (;;) {
+        const std::function<void(Proc&)>* program = nullptr;
+        {
+          std::unique_lock lock(ctl_mutex_);
+          ctl_cv_.wait(lock, [&] {
+            return workers_stop_ || job_generation_ != seen;
+          });
+          if (workers_stop_) return;
+          seen = job_generation_;
+          program = job_program_;
+        }
+        execute_as(rank, *program);
+        {
+          std::scoped_lock lock(ctl_mutex_);
+          if (--job_remaining_ == 0) done_cv_.notify_all();
+        }
+      }
+    });
+  }
+}
+
+void Machine::stop_workers() noexcept {
+  {
+    std::scoped_lock lock(ctl_mutex_);
+    workers_stop_ = true;
+    ctl_cv_.notify_all();
+  }
+  for (auto& t : workers_) t.join();
+  workers_.clear();
+  workers_stop_ = false;
+}
+
+void Machine::run_persistent(const std::function<void(Proc&)>& program) {
+  start_workers();
+  std::unique_lock lock(ctl_mutex_);
+  job_program_ = &program;
+  job_remaining_ = nprocs_;
+  ++job_generation_;
+  ctl_cv_.notify_all();
+  done_cv_.wait(lock, [&] { return job_remaining_ == 0; });
+  job_program_ = nullptr;
 }
 
 void Machine::run(const std::function<void(Proc&)>& program) {
@@ -82,6 +170,7 @@ void Machine::run(const std::function<void(Proc&)>& program) {
   reset_stats();
   barrier_.reset();
   if (race_ledger_) race_ledger_->reset();
+  first_error_ = nullptr;
 
   // Throws RaceLedgerViolation if the last program's accesses violated
   // the barrier-epoch publication discipline.
@@ -90,15 +179,6 @@ void Machine::run(const std::function<void(Proc&)>& program) {
         race_ledger_->conflict_count() > 0) {
       throw RaceLedgerViolation(race_ledger_->format_report());
     }
-  };
-
-  // Derive per-rank perturbation streams from the machine seed; | 1 keeps
-  // the state nonzero (0 means "off") for every seed and rank.
-  auto perturb_state_for = [this](std::uint32_t rank) -> std::uint64_t {
-    if (perturb_seed_ == 0) return 0;
-    return (perturb_seed_ ^
-            (0x9E3779B97F4A7C15ull * (static_cast<std::uint64_t>(rank) + 1))) |
-           1u;
   };
 
   if (nprocs_ == 1) {
@@ -110,33 +190,17 @@ void Machine::run(const std::function<void(Proc&)>& program) {
     return;
   }
 
-  std::vector<std::thread> threads;
-  threads.reserve(nprocs_);
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-
-  for (std::uint32_t rank = 0; rank < nprocs_; ++rank) {
-    threads.emplace_back([&, rank] {
-      Proc proc(rank, nprocs_, grid_, &barrier_, &stats_[rank],
-                served_.get());
-      proc.perturb_state_ = perturb_state_for(rank);
-      try {
-        program(proc);
-      } catch (const BarrierAborted&) {
-        // A peer failed first; its exception is the one to report.
-      } catch (...) {
-        {
-          std::scoped_lock lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
-        }
-        // Unblock peers waiting at the barrier so the program tears down
-        // instead of deadlocking.
-        barrier_.abort_all();
-      }
-    });
+  if (mode_ == WorkerMode::kPersistent) {
+    run_persistent(program);
+  } else {
+    run_per_run(program);
   }
-  for (auto& t : threads) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  std::exception_ptr error;
+  {
+    std::scoped_lock lock(error_mutex_);
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
   check_race_ledger();
 }
 

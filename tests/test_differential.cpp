@@ -1,7 +1,8 @@
 // Differential conformance suite: every implementation in the library —
 // the paper's splitc parallel algorithm, the OpenMP mirror, the
-// replicated baseline, and the three sequential labelers — must agree on
-// every image, machine size, and thread count.
+// replicated baseline, the three sequential labelers, and jobs routed
+// through the serving pipeline's machine pool — must agree on every
+// image, machine size, and thread count.
 //
 // All labelers emit the library-wide *canonical* labeling (each component
 // labeled by its minimum pixel index + 1), so label isomorphism collapses
@@ -27,6 +28,7 @@
 #include "histcc/hist/histogram.hpp"
 #include "histcc/image/generators.hpp"
 #include "histcc/omp/parallel_host.hpp"
+#include "histcc/serve/pipeline.hpp"
 #include "histcc/splitc/machine.hpp"
 
 namespace cc = histcc::cc;
@@ -202,3 +204,54 @@ INSTANTIATE_TEST_SUITE_P(Catalog, DifferentialHist,
                          [](const auto& suite_info) {
                            return hist_cases()[suite_info.param].name;
                          });
+
+// ---------------------------------------------------------------------------
+// Serving pipeline vs direct calls: a job routed through the pool at a
+// pinned p must agree exactly with a direct call on a standalone machine
+// of the same width, at every machine size in the sweep.  Each job must
+// complete kOk — in race-ledger builds the pooled machines keep the
+// default RacePolicy::kThrow, so a clean status also certifies that the
+// pipeline's warm-machine reuse stays ledger-clean under
+// LedgerMode::kSharded.
+
+TEST_P(DifferentialCc, PipelineAgreesWithDirectCalls) {
+  const auto test = cc_cases()[GetParam()];
+  if (!test.square_pow2_friendly) {
+    GTEST_SKIP() << "image does not tile the splitc machine grids";
+  }
+  const auto reference =
+      ccseq::label_components_bfs(test.image, test.conn, test.rule);
+  histcc::serve::Pipeline pipeline;
+  for (const std::uint32_t p : kSplitcProcs) {
+    cc::CcOptions options;
+    options.connectivity = test.conn;
+    options.rule = test.rule;
+    histcc::serve::JobOptions job;
+    job.force_procs = p;
+    auto pending = pipeline.submit_components(test.image, options, job);
+    auto result = pending.result.get();
+    EXPECT_EQ(result.status, histcc::serve::JobStatus::kOk)
+        << test.name << "/pipeline_p" << p << ": " << result.error;
+    EXPECT_EQ(result.procs, p) << test.name << "/pipeline_p" << p;
+    ASSERT_TRUE(result.has_value()) << test.name << "/pipeline_p" << p;
+    expect_labels_equal(*result.value, reference,
+                        test.name + "/pipeline_p" + std::to_string(p));
+  }
+}
+
+TEST_P(DifferentialHist, PipelineAgreesWithDirectCalls) {
+  const auto test = hist_cases()[GetParam()];
+  const auto reference = hist::histogram_seq(test.image, test.k);
+  histcc::serve::Pipeline pipeline;
+  for (const std::uint32_t p : kSplitcProcs) {
+    histcc::serve::JobOptions job;
+    job.force_procs = p;
+    auto pending = pipeline.submit_histogram(test.image, test.k, job);
+    auto result = pending.result.get();
+    EXPECT_EQ(result.status, histcc::serve::JobStatus::kOk)
+        << test.name << "/pipeline_p" << p << ": " << result.error;
+    EXPECT_EQ(result.procs, p) << test.name << "/pipeline_p" << p;
+    ASSERT_TRUE(result.has_value()) << test.name << "/pipeline_p" << p;
+    EXPECT_EQ(*result.value, reference) << test.name << "/pipeline_p" << p;
+  }
+}

@@ -8,10 +8,23 @@
 //      leaves.  A protocol-racy program yields the identical diagnostic
 //      under every seed, because the check keys on (rank, barrier epoch),
 //      not on physical timing.
+//
+// Seed selection: the fixed catalog below runs everywhere (deterministic,
+// reproducible).  Setting HISTCC_STRESS_RANDOM=1 switches to freshly
+// drawn random seeds — the nightly CI mode, which walks a different part
+// of the schedule space on every run.  HISTCC_STRESS_SEEDS sets how many
+// (default 8).  Every seed is printed, and every assertion names its
+// seed, so a nightly failure is replayable with the fixed catalog
+// temporarily extended by the printed value.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <random>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -31,8 +44,37 @@ namespace sc = histcc::splitc;
 
 namespace {
 
-constexpr std::uint64_t kSeeds[] = {1,          2,       42,
-                                    0xDEADBEEF, 7777777, 987654321012345ull};
+constexpr std::uint64_t kFixedSeeds[] = {1,          2,       42,
+                                         0xDEADBEEF, 7777777, 987654321012345ull};
+
+/// The seed sweep for this process: the fixed catalog, or — with
+/// HISTCC_STRESS_RANDOM=1 — freshly drawn seeds (nightly mode).  Drawn
+/// once and printed so any failure can be replayed.
+const std::vector<std::uint64_t>& stress_seeds() {
+  static const std::vector<std::uint64_t> seeds = [] {
+    const char* random_mode = std::getenv("HISTCC_STRESS_RANDOM");
+    if (random_mode == nullptr || std::string_view(random_mode) != "1") {
+      return std::vector<std::uint64_t>(std::begin(kFixedSeeds),
+                                        std::end(kFixedSeeds));
+    }
+    std::size_t count = 8;
+    if (const char* n = std::getenv("HISTCC_STRESS_SEEDS")) {
+      count = std::max<std::size_t>(1, std::strtoull(n, nullptr, 10));
+    }
+    std::random_device device;
+    std::vector<std::uint64_t> drawn(count);
+    for (auto& seed : drawn) {
+      seed = (static_cast<std::uint64_t>(device()) << 32) | device();
+      if (seed == 0) seed = 1;  // 0 means "perturbation off"
+    }
+    std::cout << "[stress] HISTCC_STRESS_RANDOM=1: drew " << drawn.size()
+              << " random seeds:";
+    for (const auto seed : drawn) std::cout << ' ' << seed;
+    std::cout << '\n';
+    return drawn;
+  }();
+  return seeds;
+}
 
 void await(const std::atomic<int>& flag, int want) {
   while (flag.load(std::memory_order_acquire) != want) {
@@ -47,7 +89,7 @@ TEST(ScheduleStress, AlgorithmsAreScheduleIndependent) {
   const auto want_labels = ccseq::label_components_bfs(image);
   const auto want_hist = hist::histogram_seq(image, 2);
 
-  for (const std::uint64_t seed : kSeeds) {
+  for (const std::uint64_t seed : stress_seeds()) {
     sc::Machine machine(16);  // RacePolicy::kThrow: conflicts abort the run
     machine.set_schedule_perturbation(seed);
 
@@ -73,7 +115,7 @@ TEST(ScheduleStress, DetectionIsScheduleIndependent) {
   if (!sc::Machine::race_ledger_compiled()) {
     GTEST_SKIP() << "built without HISTCC_RACE_LEDGER";
   }
-  for (const std::uint64_t seed : kSeeds) {
+  for (const std::uint64_t seed : stress_seeds()) {
     sc::Machine machine(4);
     machine.set_race_policy(sc::RacePolicy::kRecord);
     machine.set_schedule_perturbation(seed);

@@ -1,0 +1,98 @@
+// Closed-loop load test for the serving pipeline (labelled `slow`): a few
+// submitter threads keep a bounded number of mixed jobs in flight against
+// a small pool, which exercises queue backpressure, machine reuse across
+// tenants, per-size slot churn, and metrics accounting under sustained
+// concurrency.  Correctness of every single response is checked against
+// the sequential references.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "histcc/cc_seq/bfs_label.hpp"
+#include "histcc/hist/histogram.hpp"
+#include "histcc/image/generators.hpp"
+#include "histcc/serve/pipeline.hpp"
+
+namespace im = histcc::img;
+namespace sv = histcc::serve;
+namespace ccseq = histcc::ccseq;
+namespace hist = histcc::hist;
+
+TEST(ServeLoadTest, SustainedMixedTenantsAllCorrect) {
+  // Two tenants with different shapes: a 96x96 histogram workload
+  // (routes to p=2) and a 128x128 labeling workload (routes to p=4), so
+  // the pool keeps serving two machine sizes at once.
+  const auto grey = im::make_random_grey(96, 8, 21);
+  const auto hist_ref = hist::histogram_seq(grey, 8);
+  const auto pattern = im::make_test_pattern(im::TestPattern::kFourSquares, 128);
+  const auto cc_ref = ccseq::label_components_bfs(pattern);
+
+  sv::PipelineOptions opt;
+  opt.pool_size = 3;
+  opt.queue_capacity = 8;  // small on purpose: submitters feel backpressure
+  sv::Pipeline pipeline(opt);
+
+  constexpr int kSubmitters = 4;
+  constexpr int kJobsPerSubmitter = 24;
+  std::atomic<std::uint64_t> hist_ok{0};
+  std::atomic<std::uint64_t> cc_ok{0};
+  std::atomic<std::uint64_t> wrong{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      for (int i = 0; i < kJobsPerSubmitter; ++i) {
+        // Closed loop: one job in flight per submitter at a time.
+        if ((s + i) % 2 == 0) {
+          auto result = pipeline.submit_histogram(grey, 8).result.get();
+          if (result.status == sv::JobStatus::kOk && result.has_value() &&
+              *result.value == hist_ref) {
+            hist_ok++;
+          } else {
+            wrong++;
+          }
+        } else {
+          auto result = pipeline.submit_components(pattern).result.get();
+          if (result.status == sv::JobStatus::kOk && result.has_value() &&
+              *result.value == cc_ref) {
+            cc_ok++;
+          } else {
+            wrong++;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+
+  constexpr std::uint64_t kTotal =
+      static_cast<std::uint64_t>(kSubmitters) * kJobsPerSubmitter;
+  EXPECT_EQ(wrong.load(), 0u);
+  EXPECT_EQ(hist_ok.load() + cc_ok.load(), kTotal);
+
+  const auto metrics = pipeline.metrics();
+  EXPECT_EQ(metrics.submitted, kTotal);
+  EXPECT_EQ(metrics.completed, kTotal);
+  EXPECT_EQ(metrics.rejected, 0u);
+  EXPECT_EQ(metrics.finished(), kTotal);
+  EXPECT_GT(metrics.wall_p50_s, 0.0);
+  EXPECT_GE(metrics.machines_built, 1u);
+
+  // Convergence: once the workload settles on one machine size, every
+  // slot rebuilds at most once more and then the pool serves warm
+  // machines only.
+  const auto built_before_steady = pipeline.metrics().machines_built;
+  constexpr int kSteadyJobs = 30;
+  for (int i = 0; i < kSteadyJobs; ++i) {
+    auto result = pipeline.submit_histogram(grey, 8).result.get();
+    EXPECT_EQ(result.status, sv::JobStatus::kOk);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(*result.value, hist_ref);
+  }
+  const auto built_after_steady = pipeline.metrics().machines_built;
+  EXPECT_LE(built_after_steady - built_before_steady,
+            static_cast<std::uint64_t>(opt.pool_size));
+}

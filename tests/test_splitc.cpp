@@ -334,3 +334,154 @@ TEST(ServedWordsTest, ResetBetweenRuns) {
   m.run([](sc::Proc& self) { self.barrier(); });
   EXPECT_EQ(m.served_words(1), 0u);
 }
+
+// ---------------------------------------------------------------------------
+// Machine reuse.  The serving pool (histcc/serve/machine_pool.hpp) keeps
+// machines warm across jobs, so nothing may leak from one run() to the
+// next: ledgers, served counters, barrier state, epochs, diagnostics.
+
+TEST(MachineReuseTest, StatsFullyResetBetweenRuns) {
+  sc::Machine m(4);
+  sc::Spread<std::uint32_t> a(m, 8);
+  m.run([&](sc::Proc& self) {
+    std::vector<std::uint32_t> buf(8);
+    a.prefetch(self, buf, (self.rank() + 1) % 4, 0, 8);
+    self.sync();
+    self.barrier();
+  });
+  EXPECT_GT(m.total_stats().words, 0u);
+  EXPECT_GT(m.total_stats().messages, 0u);
+  EXPECT_GT(m.max_port_words(), 0u);
+
+  m.run([](sc::Proc&) {});
+  const auto total = m.total_stats();
+  EXPECT_EQ(total.words, 0u);
+  EXPECT_EQ(total.messages, 0u);
+  EXPECT_EQ(total.batches, 0u);
+  EXPECT_EQ(total.barriers, 0u);
+  EXPECT_EQ(total.local_ops, 0u);
+  EXPECT_EQ(m.max_port_words(), 0u);
+  for (std::uint32_t rank = 0; rank < 4; ++rank) {
+    EXPECT_EQ(m.served_words(rank), 0u);
+  }
+}
+
+TEST(MachineReuseTest, EpochRestartsAtOneEachRun) {
+  sc::Machine m(4);
+  std::atomic<std::uint64_t> max_epoch{0};
+  m.run([&](sc::Proc& self) {
+    EXPECT_EQ(self.epoch(), 1u);
+    self.barrier();
+    self.barrier();
+    std::uint64_t seen = max_epoch.load();
+    while (seen < self.epoch() &&
+           !max_epoch.compare_exchange_weak(seen, self.epoch())) {
+    }
+  });
+  EXPECT_EQ(max_epoch.load(), 3u);
+  // The second program must not inherit the first one's barrier count.
+  m.run([&](sc::Proc& self) { EXPECT_EQ(self.epoch(), 1u); });
+}
+
+TEST(MachineReuseTest, LedgerDiagnosticsClearedBetweenRuns) {
+  if (!sc::Machine::race_ledger_compiled()) {
+    GTEST_SKIP() << "race ledger not compiled in";
+  }
+  sc::Machine m(2);
+  m.set_race_policy(sc::RacePolicy::kRecord);
+  sc::Spread<std::uint32_t> a(m, 4);
+  m.run([&](sc::Proc& self) {
+    // Both ranks write the same remote element in the same epoch: a
+    // deliberate write-write conflict.
+    a.put(self, 0, 0, self.rank());
+    self.barrier();
+  });
+  auto* ledger = m.race_ledger_registry();
+  ASSERT_NE(ledger, nullptr);
+  EXPECT_GT(ledger->conflict_count(), 0u);
+
+  // A clean follow-up program on the same machine: the previous run's
+  // shadow cells and diagnostics must all be gone.
+  m.run([&](sc::Proc& self) {
+    a.put(self, self.rank(), 0, 7u);
+    self.barrier();
+  });
+  EXPECT_EQ(ledger->conflict_count(), 0u);
+  EXPECT_TRUE(ledger->diagnostics().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Persistent worker mode (WorkerMode::kPersistent): warm parked threads
+// instead of per-run spawn/join, observationally identical to kPerRun.
+
+TEST(PersistentModeTest, MatchesPerRunResults) {
+  sc::Machine per_run(4, sc::WorkerMode::kPerRun);
+  sc::Machine persistent(4, sc::WorkerMode::kPersistent);
+  const auto program = [](sc::Machine& m) {
+    sc::Spread<std::uint32_t> a(m, 8);
+    m.run([&](sc::Proc& self) {
+      for (auto& x : a.local(self)) x = self.rank() + 1;
+      self.barrier();
+      std::vector<std::uint32_t> buf(8);
+      a.prefetch(self, buf, (self.rank() + 1) % 4, 0, 8);
+      self.sync();
+      self.barrier();
+    });
+    std::vector<std::uint32_t> flat;
+    for (std::uint32_t rank = 0; rank < 4; ++rank) {
+      for (const auto x : a.block(rank)) flat.push_back(x);
+    }
+    return std::pair{flat, m.total_stats().words};
+  };
+  const auto a = program(per_run);
+  const auto b = program(persistent);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+TEST(PersistentModeTest, WorkerThreadsPersistAcrossRuns) {
+  sc::Machine m(4, sc::WorkerMode::kPersistent);
+  std::vector<std::thread::id> first(4), second(4);
+  m.run([&](sc::Proc& self) {
+    first[self.rank()] = std::this_thread::get_id();
+  });
+  m.run([&](sc::Proc& self) {
+    second[self.rank()] = std::this_thread::get_id();
+  });
+  // Same parked thread serves the same rank in both programs — the whole
+  // point of the mode: no per-run thread churn for a pooled machine.
+  EXPECT_EQ(first, second);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    for (std::uint32_t j = i + 1; j < 4; ++j) {
+      EXPECT_NE(first[i], first[j]);
+    }
+  }
+}
+
+TEST(PersistentModeTest, UsableAfterException) {
+  sc::Machine m(4, sc::WorkerMode::kPersistent);
+  EXPECT_THROW(m.run([&](sc::Proc& self) {
+    if (self.rank() == 1) throw std::runtime_error("job failed");
+    self.barrier();
+  }),
+               std::runtime_error);
+  std::atomic<int> ok{0};
+  m.run([&](sc::Proc& self) {
+    self.barrier();
+    ok++;
+    self.barrier();
+  });
+  EXPECT_EQ(ok.load(), 4);
+}
+
+TEST(PersistentModeTest, ManyConsecutiveRuns) {
+  sc::Machine m(8, sc::WorkerMode::kPersistent);
+  std::atomic<int> total{0};
+  for (int i = 0; i < 32; ++i) {
+    m.run([&](sc::Proc& self) {
+      self.barrier();
+      total++;
+    });
+  }
+  EXPECT_EQ(total.load(), 32 * 8);
+}
