@@ -49,12 +49,35 @@ Timing sample(int reps, Fn&& fn) {
 /// and plotting scripts need no table scraping.  Core fields are always
 /// (name, p, mean_ns, min_ns, throughput); a bench can append extra
 /// numeric fields (percentiles, counters) per record.
+///
+/// Schema v2 adds run provenance so the perf trajectory is attributable
+/// across PRs: `git_sha` (configure-time `git rev-parse --short HEAD`) and
+/// `build_preset` (which CMake preset produced the binary), both
+/// "unknown" when built outside the presets/git.
 class JsonReport {
  public:
   /// \param bench short tag ("host", "pipeline"); the file becomes
   ///              BENCH_<bench>.json.
   explicit JsonReport(std::string bench)
       : bench_(std::move(bench)), path_("BENCH_" + bench_ + ".json") {}
+
+  static constexpr int kSchemaVersion = 2;
+
+  [[nodiscard]] static const char* git_sha() noexcept {
+#ifdef HISTCC_GIT_SHA
+    return HISTCC_GIT_SHA;
+#else
+    return "unknown";
+#endif
+  }
+
+  [[nodiscard]] static const char* build_preset() noexcept {
+#ifdef HISTCC_BUILD_PRESET
+    return HISTCC_BUILD_PRESET;
+#else
+    return "unknown";
+#endif
+  }
 
   /// \param throughput work items per second (pixels, jobs, ...); the
   ///                   record's `name` says which.
@@ -74,8 +97,11 @@ class JsonReport {
       std::fprintf(stderr, "cannot write %s\n", path_.c_str());
       return false;
     }
-    std::fprintf(out, "{\n  \"bench\": \"%s\",\n  \"results\": [\n",
-                 bench_.c_str());
+    std::fprintf(out,
+                 "{\n  \"bench\": \"%s\",\n  \"schema_version\": %d,\n"
+                 "  \"git_sha\": \"%s\",\n  \"build_preset\": \"%s\",\n"
+                 "  \"results\": [\n",
+                 bench_.c_str(), kSchemaVersion, git_sha(), build_preset());
     for (std::size_t i = 0; i < entries_.size(); ++i) {
       const Entry& e = entries_[i];
       std::fprintf(out,

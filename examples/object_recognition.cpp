@@ -22,8 +22,8 @@ int main(int argc, char** argv) {
 
   splitc::Machine machine(p);
   const img::TileLayout layout(n, p);
-  splitc::Spread<std::uint8_t> tiles(machine, layout.tile_size());
-  splitc::Spread<std::uint32_t> labels(machine, layout.tile_size());
+  splitc::Spread<std::uint8_t> tiles(machine, layout.tile_size(), "objrec_tiles");
+  splitc::Spread<std::uint32_t> labels(machine, layout.tile_size(), "objrec_labels");
   layout.scatter(scene, tiles);
 
   // Label in parallel, leaving the labeling distributed...

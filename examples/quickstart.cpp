@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
 
   // 2. Distribute it once; both algorithms reuse the same tiles.
   const img::TileLayout layout(n, p);
-  splitc::Spread<std::uint8_t> tiles(machine, layout.tile_size());
+  splitc::Spread<std::uint8_t> tiles(machine, layout.tile_size(), "quickstart_tiles");
   layout.scatter(scene, tiles);
   std::printf("layout: %ux%u processor grid, %ux%u tiles\n",
               layout.grid_rows(), layout.grid_cols(), layout.tile_rows(),

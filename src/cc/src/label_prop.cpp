@@ -229,7 +229,7 @@ img::LabelImage connected_components_label_prop(splitc::Machine& machine,
                                                 ccseq::ColourRule rule,
                                                 LabelPropStats* stats) {
   const img::TileLayout layout(image.height(), machine.nprocs());
-  splitc::Spread<std::uint8_t> tiles(machine, layout.tile_size());
+  splitc::Spread<std::uint8_t> tiles(machine, layout.tile_size(), "prop_tiles");
   layout.scatter(image, tiles);
   return connected_components_label_prop(machine, layout, tiles, conn, rule,
                                          stats);

@@ -123,7 +123,7 @@ std::vector<RegionEdge> region_adjacency_parallel(splitc::Machine& machine,
                                                   const img::LabelImage& labels,
                                                   ccseq::Connectivity conn) {
   const img::TileLayout layout(labels.height(), machine.nprocs());
-  splitc::Spread<std::uint32_t> tiles(machine, layout.tile_size());
+  splitc::Spread<std::uint32_t> tiles(machine, layout.tile_size(), "rag_tiles");
   layout.scatter(labels, tiles);
   return region_adjacency_parallel(machine, layout, tiles, conn);
 }

@@ -102,8 +102,8 @@ std::vector<ccseq::ComponentStats> component_stats_parallel(
     splitc::Machine& machine, const img::GreyImage& image,
     const img::LabelImage& labels) {
   const img::TileLayout layout(image.height(), machine.nprocs());
-  splitc::Spread<std::uint8_t> tiles(machine, layout.tile_size());
-  splitc::Spread<std::uint32_t> label_tiles(machine, layout.tile_size());
+  splitc::Spread<std::uint8_t> tiles(machine, layout.tile_size(), "stats_tiles");
+  splitc::Spread<std::uint32_t> label_tiles(machine, layout.tile_size(), "stats_labels");
   layout.scatter(image, tiles);
   layout.scatter(labels, label_tiles);
   return component_stats_parallel(machine, layout, tiles, label_tiles);

@@ -128,7 +128,7 @@ std::vector<std::uint32_t> histogram_parallel(splitc::Machine& machine,
                                               std::uint32_t k,
                                               HistPhases* phases) {
   const img::TileLayout layout(image.height(), machine.nprocs());
-  splitc::Spread<std::uint8_t> tiles(machine, layout.tile_size());
+  splitc::Spread<std::uint8_t> tiles(machine, layout.tile_size(), "hist_tiles");
   layout.scatter(image, tiles);
   return histogram_parallel(machine, layout, tiles, k, phases);
 }

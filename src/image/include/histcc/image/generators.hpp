@@ -52,6 +52,10 @@ inline constexpr int kNumTestPatterns = 9;
 [[nodiscard]] GreyImage make_test_pattern(TestPattern pattern,
                                           std::uint32_t n);
 
+// NOLINTBEGIN(bugprone-easily-swappable-parameters): generator signatures
+// share the positional (n, <shape params>, seed) convention; bodies live in
+// generators.cpp, out of SuppressParametersUsedTogether's sight.
+
 /// Synthetic stand-in for the DARPA IU Benchmark image: a 256-grey-level
 /// scene of `pieces` overlapping rectangles and ellipses over a lightly
 /// textured background.  Deterministic in (n, seed).
@@ -82,6 +86,8 @@ inline constexpr int kNumTestPatterns = 9;
 /// row bands of equal height cycling through 0..k-1.  Histogram tests use
 /// the exact expected counts.
 [[nodiscard]] GreyImage make_banded_grey(std::uint32_t n, std::uint32_t k);
+
+// NOLINTEND(bugprone-easily-swappable-parameters)
 
 }  // namespace histcc::img
 

@@ -27,6 +27,8 @@ class TileLayout {
   /// \param n image side; \param p processor count (power of two).
   /// Requires v | n and w | n, i.e. n a multiple of w (the larger grid
   /// dimension), as the paper assumes.
+  // NOLINTNEXTLINE(bugprone-easily-swappable-parameters): (n, p) is the
+  // paper's fixed problem-size order; n and p never meet in one expression.
   TileLayout(std::uint32_t n, std::uint32_t p)
       : n_(n), p_(p), grid_(util::grid_shape(p)) {
     HISTCC_REQUIRE(n > 0, "image side must be positive");

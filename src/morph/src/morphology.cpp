@@ -81,6 +81,7 @@ void parallel(splitc::Machine& machine, const img::TileLayout& layout,
             halo.data(), stride, i + 1, j + 1, square);
       }
     }
+    out.note_local_write(self);  // race-ledger epoch annotation
     self.charge_ops(static_cast<std::uint64_t>(square ? 9 : 5) *
                     layout.tile_size());
   });

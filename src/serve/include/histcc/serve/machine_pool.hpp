@@ -30,6 +30,8 @@ class MachinePool {
   /// \param slots      concurrently leasable machines (>= 1).
   /// \param max_procs  largest virtual-processor count a lease may ask
   ///                   for (power of two).
+  // NOLINTNEXTLINE(bugprone-easily-swappable-parameters): declaration-only;
+  // the definition checks the two independently (no joint expression).
   MachinePool(std::uint32_t slots, std::uint32_t max_procs);
 
   MachinePool(const MachinePool&) = delete;

@@ -211,6 +211,11 @@ class RaceLedger {
   /// constructors (host side, before Machine::run).
   [[nodiscard]] std::shared_ptr<ArrayShadow> attach(std::string name);
 
+  // NOLINTBEGIN(bugprone-easily-swappable-parameters): the (owner, off,
+  // len, rank, epoch) order mirrors the Split-C access tuple everywhere in
+  // the ledger; declaration-only, so SuppressParametersUsedTogether cannot
+  // see the bodies that use them jointly.
+
   /// Record `len` element accesses [off, off+len) in `owner`'s block of
   /// the array behind `shadow`, performed by `rank` in barrier `epoch`.
   /// Detected conflicts are appended to the diagnostic log.
@@ -222,6 +227,8 @@ class RaceLedger {
   /// size_of probe reads it; the owner's note_local_write publishes it).
   void record_size(ArrayShadow& shadow, std::uint32_t owner,
                    std::uint32_t rank, std::uint64_t epoch, RaceAccess kind);
+
+  // NOLINTEND(bugprone-easily-swappable-parameters)
 
   /// Select the shadow-store implementation.  Host-side only, between
   /// runs; kSharded is the default.
@@ -251,6 +258,8 @@ class RaceLedger {
   static constexpr std::size_t kMaxDiagnostics = 64;
 
  private:
+  // NOLINTBEGIN(bugprone-easily-swappable-parameters): same access-tuple
+  // order as the public record(); declaration-only.
   void record_mutex(ArrayShadow& shadow, std::uint32_t owner, std::size_t off,
                     std::size_t len, std::uint32_t rank, std::uint64_t epoch,
                     RaceAccess kind, RaceTarget target);
@@ -266,6 +275,7 @@ class RaceLedger {
                     std::uint32_t first_rank, RaceAccess first_kind,
                     std::uint32_t second_rank, RaceAccess second_kind,
                     RaceTarget target);
+  // NOLINTEND(bugprone-easily-swappable-parameters)
 
   std::uint32_t nprocs_;
   LedgerMode mode_ = LedgerMode::kSharded;

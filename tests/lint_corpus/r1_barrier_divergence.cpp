@@ -1,0 +1,84 @@
+// spmdlint corpus: R1 barrier-divergence.  This file is linted, never
+// compiled; it mirrors the runtime's idioms closely enough for the lexical
+// rules to apply.  Expected findings live in expected.txt (exact lines).
+
+#include <cstdint>
+
+namespace corpus {
+
+struct Proc {
+  std::uint32_t rank() const;
+  std::uint32_t nprocs() const;
+  void barrier();
+  void sync();
+};
+
+void broadcast(Proc& self, int* value, std::uint32_t root);
+
+// --- violations ------------------------------------------------------------
+
+void rank_guarded_barrier(Proc& self) {
+  if (self.rank() == 0) {
+    self.barrier();  // VIOLATION: only rank 0 arrives
+  }
+}
+
+void tainted_guard_collective(Proc& self) {
+  int value = 0;
+  const bool is_manager = self.rank() == 0;
+  if (is_manager) {
+    broadcast(self, &value, 0);  // VIOLATION: collective under taint
+  }
+}
+
+void else_branch_barrier(Proc& self) {
+  if (self.rank() == 0) {
+    self.sync();  // local split-phase completion, not a collective
+  } else {
+    self.barrier();  // VIOLATION: the else of a rank-if diverges too
+  }
+}
+
+void rank_bounded_loop(Proc& self) {
+  for (std::uint32_t i = 0; i < self.rank(); ++i) {
+    self.barrier();  // VIOLATION: iteration count differs per rank
+  }
+}
+
+void guarded_early_return(Proc& self) {
+  if (self.rank() != 0) {
+    return;  // VIOLATION: skips the barrier below on most ranks
+  }
+  self.barrier();
+}
+
+// --- near-misses (must NOT fire) -------------------------------------------
+
+void barrier_after_guard(Proc& self) {
+  if (self.rank() == 0) {
+    self.sync();  // rank-guarded, but no collective inside
+  }
+  self.barrier();  // all ranks arrive: fine
+}
+
+void untainted_guard(Proc& self, bool option) {
+  if (option) {
+    self.barrier();  // every rank sees the same `option`: fine
+  }
+}
+
+void guarded_return_no_barrier_after(Proc& self) {
+  self.barrier();
+  if (self.rank() != 0) {
+    return;  // nothing collective follows in this function: fine
+  }
+  self.sync();
+}
+
+void suppressed_divergence(Proc& self) {
+  if (self.rank() == 0) {
+    self.barrier();  // spmdlint: allow(barrier-divergence) -- corpus: exercises trailing suppression
+  }
+}
+
+}  // namespace corpus

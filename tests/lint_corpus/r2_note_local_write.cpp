@@ -1,0 +1,82 @@
+// spmdlint corpus: R2 note-local-write.  Writes through Spread/SpreadVec
+// local() storage must be annotated in the same barrier-delimited region.
+
+#include <cstdint>
+#include <vector>
+
+namespace corpus {
+
+struct Proc {
+  std::uint32_t rank() const;
+  void barrier();
+};
+
+template <typename T>
+struct Spread {
+  Spread(int machine, std::size_t n, const char* name);
+  T* local(Proc& self);
+  void note_local_write(Proc& self);
+};
+
+template <typename T>
+struct SpreadVec {
+  SpreadVec(int machine, const char* name);
+  std::vector<T>& local(Proc& self);
+  void note_local_write(Proc& self);
+};
+
+template <typename C, typename F>
+void sort_by(C& c, F key);
+
+// --- violations ------------------------------------------------------------
+
+void unannotated_store(int machine, Proc& self) {
+  Spread<std::uint32_t> data(machine, 16, "data");
+  data.local(self)[0] = 1;  // VIOLATION: no note_local_write before barrier
+  self.barrier();
+}
+
+void annotation_in_earlier_region(int machine, Proc& self) {
+  Spread<std::uint32_t> data(machine, 16, "data");
+  data.note_local_write(self);
+  self.barrier();  // region boundary: the note above covers nothing below
+  data.local(self)[1] = 2;  // VIOLATION: this region has no annotation
+  self.barrier();
+}
+
+void unannotated_alias_mutation(int machine, Proc& self) {
+  SpreadVec<std::uint32_t> items(machine, "items");
+  auto& mine = items.local(self);
+  mine.push_back(7);  // VIOLATION: mutation through alias, no annotation
+  self.barrier();
+}
+
+// --- near-misses (must NOT fire) -------------------------------------------
+
+void annotated_store(int machine, Proc& self) {
+  Spread<std::uint32_t> data(machine, 16, "data");
+  data.local(self)[0] = 1;
+  data.note_local_write(self);  // same region: fine
+  self.barrier();
+}
+
+void annotated_across_inline_lambda(int machine, Proc& self) {
+  SpreadVec<std::uint32_t> items(machine, "items");
+  auto& mine = items.local(self);
+  mine.push_back(3);
+  // An inline lambda (sort comparator) must not sever the region between
+  // the mutation above and the annotation below.
+  sort_by(mine, [](std::uint32_t v) { return v; });
+  items.note_local_write(self);
+  self.barrier();
+}
+
+void read_only_alias(int machine, Proc& self) {
+  Spread<std::uint32_t> data(machine, 16, "data");
+  auto view = data.local(self);
+  const std::uint32_t x = view[0];  // read, not a write: fine
+  (void)x;
+  self.barrier();
+}
+
+}  // namespace corpus

@@ -1,0 +1,55 @@
+// spmdlint corpus: R3 named-spread.  Every Spread/SpreadVec construction
+// must carry a debug-name string; references and parameters are bindings,
+// not constructions.
+
+#include <cstdint>
+#include <string>
+
+namespace corpus {
+
+template <typename T>
+struct Spread {
+  Spread(int machine, std::size_t n);
+  Spread(int machine, std::size_t n, const char* name);
+};
+
+template <typename T>
+struct SpreadVec {
+  SpreadVec(int machine);
+  SpreadVec(int machine, std::string name);
+};
+
+// --- violations ------------------------------------------------------------
+
+void unnamed_spread(int machine) {
+  Spread<std::uint8_t> tiles(machine, 64);  // VIOLATION: no debug name
+}
+
+void unnamed_spreadvec(int machine) {
+  SpreadVec<std::uint32_t> edges(machine);  // VIOLATION: no debug name
+}
+
+void unnamed_nested_template(int machine) {
+  Spread<std::pair<std::uint32_t, std::uint32_t>> spans(machine, 8);  // VIOLATION
+}
+
+// --- near-misses (must NOT fire) -------------------------------------------
+
+void named_spread(int machine) {
+  Spread<std::uint8_t> tiles(machine, 64, "tiles");
+}
+
+void named_via_variable_is_still_flagged_elsewhere(int machine) {
+  // A std::string variable would defeat the lexical check; the repo idiom
+  // is a literal, and the corpus pins only the literal form as a pass.
+  SpreadVec<std::uint32_t> edges(machine, "edges");
+}
+
+void reference_binding(Spread<std::uint8_t>& tiles, int machine) {
+  // Parameters and references construct nothing.
+  Spread<std::uint8_t>* alias = &tiles;
+  (void)alias;
+  (void)machine;
+}
+
+}  // namespace corpus

@@ -1,0 +1,57 @@
+// spmdlint corpus: R4 omp-epoch-hooks.  A `#pragma omp parallel` region
+// that references state declared outside it must carry epoch_check hooks
+// so the OpenMP epoch checker can audit it.
+
+#include <cstdint>
+#include <vector>
+
+namespace corpus {
+
+struct EpochChecker {
+  void note_write(std::size_t off, std::size_t len);
+  void note_read(std::size_t off, std::size_t len);
+  void epoch_barrier();
+};
+
+int omp_get_thread_num();
+
+// --- violation -------------------------------------------------------------
+
+void unaudited_region(std::vector<std::uint32_t>& partial, int threads) {
+#pragma omp parallel num_threads(threads)
+  {
+    const int tid = omp_get_thread_num();
+    partial[static_cast<std::size_t>(tid)] += 1;  // shared, unaudited
+  }
+}
+
+void unaudited_parallel_for(std::vector<std::uint32_t>& hist) {
+#pragma omp parallel for
+  for (std::size_t i = 0; i < 64; ++i) {
+    hist[i] += 1;  // shared, unaudited
+  }
+}
+
+// --- near-misses (must NOT fire) -------------------------------------------
+
+void audited_region(std::vector<std::uint32_t>& partial, EpochChecker* chk,
+                    int threads) {
+#pragma omp parallel num_threads(threads)
+  {
+    const int tid = omp_get_thread_num();
+    partial[static_cast<std::size_t>(tid)] += 1;
+    chk->note_write(static_cast<std::size_t>(tid), 1);  // audited: fine
+  }
+}
+
+void thread_private_region(int threads) {
+#pragma omp parallel num_threads(threads)
+  {
+    int acc = 0;
+    for (int i = 0; i < 100; ++i) {
+      acc += i;  // touches nothing declared outside the region: fine
+    }
+  }
+}
+
+}  // namespace corpus

@@ -1,0 +1,45 @@
+// spmdlint corpus: R5 stale-suppression.  allow() comments must suppress a
+// real finding, name a real rule, and carry a justification.
+
+#include <cstdint>
+
+namespace corpus {
+
+struct Proc {
+  std::uint32_t rank() const;
+  void barrier();
+  void sync();
+};
+
+// --- violations ------------------------------------------------------------
+
+void stale_allow(Proc& self) {
+  // spmdlint: allow(barrier-divergence) -- VIOLATION: nothing diverges below
+  self.barrier();
+}
+
+void unknown_rule(Proc& self) {
+  self.sync();  // spmdlint: allow(no-such-rule) -- VIOLATION: unknown rule
+}
+
+void missing_justification(Proc& self) {
+  if (self.rank() == 0) {
+    self.barrier();  // spmdlint: allow(barrier-divergence)
+  }
+}
+
+// --- near-misses (must NOT fire) -------------------------------------------
+
+void live_allow_standalone(Proc& self) {
+  if (self.rank() == 0) {
+    // spmdlint: allow(barrier-divergence) -- corpus: standalone comment form
+    self.barrier();
+  }
+}
+
+void ordinary_comment(Proc& self) {
+  // Mentioning the tool name spmdlint in prose is not a directive.
+  self.barrier();
+}
+
+}  // namespace corpus

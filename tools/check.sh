@@ -1,53 +1,110 @@
 #!/usr/bin/env bash
 # Correctness matrix driver: builds and tests the tier-1 suite under each
-# analysis configuration, then (when available) runs clang-tidy over the
-# sources using the plain preset's compile_commands.json.
+# analysis configuration, runs the spmdlint static pass, and (when
+# available) runs clang-tidy over the sources using the plain preset's
+# compile_commands.json.
 #
 # Usage:
-#   tools/check.sh                 # run every stage
-#   tools/check.sh plain tsan      # run a subset
-#   JOBS=8 tools/check.sh          # override parallelism
+#   tools/check.sh                     # run every stage
+#   tools/check.sh plain tsan          # run a subset
+#   tools/check.sh lint-spmd           # just the static SPMD lint
+#   JOBS=8 tools/check.sh              # override parallelism
+#   SPMDLINT_NO_BASELINE=1 tools/check.sh lint-spmd   # report ALL findings
 #
-# Stages: plain, asan-ubsan, tsan, race-ledger, tidy.
-# Exit status is non-zero if any requested stage fails; stages that
-# cannot run here (clang-tidy not installed) are skipped with a notice.
+# Stages: plain, asan-ubsan, tsan, race-ledger, lint-spmd, tidy.
+# Exit status is non-zero iff any requested stage fails; a stage that
+# cannot run here (clang-tidy not installed) is recorded as SKIP, which
+# does not fail the script.  A per-stage PASS/FAIL/SKIP table is printed
+# at the end regardless of where a failure occurred.
 #
 # Test labels: the plain/asan-ubsan/tsan ctest presets exclude tests
 # labelled `slow` (the differential conformance and schedule-stress
 # layers) to keep feedback fast; the race-ledger preset runs everything.
-# Select manually with `ctest -L ledger` / `ctest -LE slow` in any build
-# tree (labels are regexes: the compound `slow-ledger` matches both).
+# Select manually with `ctest -L ledger` / `ctest -L lint` / `ctest -LE
+# slow` in any build tree (labels are regexes: the compound `slow-ledger`
+# matches both).
 set -u
 
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 STAGES=("$@")
 if [ ${#STAGES[@]} -eq 0 ]; then
-  STAGES=(plain asan-ubsan tsan race-ledger tidy)
+  STAGES=(plain asan-ubsan tsan race-ledger lint-spmd tidy)
 fi
 
-failures=()
+# Per-stage results, aggregated into the summary table and the exit code.
+# Bash 3 compatible: parallel arrays instead of an associative array.
+RESULT_NAMES=()
+RESULT_CODES=()  # PASS | FAIL | SKIP
+RESULT_WHY=()
+
 note() { printf '\n==== %s ====\n' "$*"; }
+record() {  # record <stage> <PASS|FAIL|SKIP> [why]
+  RESULT_NAMES+=("$1")
+  RESULT_CODES+=("$2")
+  RESULT_WHY+=("${3:-}")
+}
 
 run_preset() {
   local preset="$1"
   note "preset: ${preset} (configure)"
-  cmake --preset "${preset}" || { failures+=("${preset}:configure"); return; }
+  cmake --preset "${preset}" ||
+    { record "${preset}" FAIL "configure"; return; }
   note "preset: ${preset} (build, -j${JOBS})"
   cmake --build --preset "${preset}" -j "${JOBS}" ||
-    { failures+=("${preset}:build"); return; }
+    { record "${preset}" FAIL "build"; return; }
   note "preset: ${preset} (ctest)"
-  ctest --preset "${preset}" -j "${JOBS}" || failures+=("${preset}:test")
+  ctest --preset "${preset}" -j "${JOBS}" ||
+    { record "${preset}" FAIL "test"; return; }
+  record "${preset}" PASS
+}
+
+# Static SPMD discipline lint (tools/spmdlint, docs/spmdlint.md).  Builds
+# the analyzer directly with the host compiler into build-lint/ so the
+# stage works without any CMake configure step, then lints src/ and
+# examples/ against the checked-in baseline.  Set SPMDLINT_NO_BASELINE=1
+# to see every finding including baselined ones (the nightly CI mode).
+run_lint_spmd() {
+  local cxx="${CXX:-}"
+  if [ -z "${cxx}" ]; then
+    if command -v g++ >/dev/null 2>&1; then cxx=g++;
+    elif command -v clang++ >/dev/null 2>&1; then cxx=clang++;
+    else
+      note "lint-spmd: no C++ compiler found; skipping"
+      record lint-spmd SKIP "no compiler"
+      return
+    fi
+  fi
+  note "lint-spmd: building analyzer (${cxx})"
+  mkdir -p build-lint
+  "${cxx}" -std=c++17 -O2 -Wall -Wextra -o build-lint/spmdlint \
+    tools/spmdlint/lexer.cpp tools/spmdlint/rules.cpp \
+    tools/spmdlint/main.cpp ||
+    { record lint-spmd FAIL "build"; return; }
+  local baseline_args=(--baseline tools/spmdlint/baseline.txt)
+  if [ "${SPMDLINT_NO_BASELINE:-0}" != 0 ]; then
+    baseline_args=(--no-baseline)
+  fi
+  note "lint-spmd: linting src/ examples/ (${baseline_args[*]})"
+  build-lint/spmdlint --root . "${baseline_args[@]}" \
+    --json build-lint/spmdlint.json src examples ||
+    { record lint-spmd FAIL "findings"; return; }
+  note "lint-spmd: corpus self-test"
+  build-lint/spmdlint --root tests/lint_corpus --no-baseline \
+    --expect tests/lint_corpus/expected.txt . ||
+    { record lint-spmd FAIL "corpus"; return; }
+  record lint-spmd PASS
 }
 
 run_tidy() {
   if ! command -v clang-tidy >/dev/null 2>&1; then
     note "clang-tidy not installed; skipping (see ROADMAP.md open items)"
+    record tidy SKIP "clang-tidy not installed"
     return
   fi
   # clang-tidy needs the plain preset's compile_commands.json.
   if [ ! -f build/compile_commands.json ]; then
-    cmake --preset plain || { failures+=("tidy:configure"); return; }
+    cmake --preset plain || { record tidy FAIL "configure"; return; }
   fi
   note "clang-tidy ($(clang-tidy --version | head -n1))"
   local files
@@ -56,28 +113,37 @@ run_tidy() {
   if command -v run-clang-tidy >/dev/null 2>&1; then
     run-clang-tidy -p build -quiet -j "${JOBS}" \
       'src/.*\.cpp$|tests/.*\.cpp$|bench/.*\.cpp$' ||
-      failures+=("tidy:lint")
+      { record tidy FAIL "lint"; return; }
   else
     echo "${files}" | ${runner} clang-tidy -p build --quiet ||
-      failures+=("tidy:lint")
+      { record tidy FAIL "lint"; return; }
   fi
+  record tidy PASS
 }
 
 for stage in "${STAGES[@]}"; do
   case "${stage}" in
     plain | asan-ubsan | tsan | race-ledger) run_preset "${stage}" ;;
+    lint-spmd) run_lint_spmd ;;
     tidy) run_tidy ;;
     *)
       echo "unknown stage: ${stage}" >&2
-      failures+=("${stage}:unknown")
+      record "${stage}" FAIL "unknown stage"
       ;;
   esac
 done
 
 note "summary"
-if [ ${#failures[@]} -eq 0 ]; then
-  echo "all requested stages passed: ${STAGES[*]}"
-else
-  echo "FAILED stages: ${failures[*]}" >&2
-  exit 1
+status=0
+printf '%-14s %-6s %s\n' "stage" "result" "detail"
+printf '%-14s %-6s %s\n' "-----" "------" "------"
+for i in "${!RESULT_NAMES[@]}"; do
+  printf '%-14s %-6s %s\n' "${RESULT_NAMES[$i]}" "${RESULT_CODES[$i]}" \
+    "${RESULT_WHY[$i]}"
+  if [ "${RESULT_CODES[$i]}" = FAIL ]; then status=1; fi
+done
+if [ "${status}" -ne 0 ]; then
+  echo
+  echo "FAILED: at least one stage failed (see table above)" >&2
 fi
+exit "${status}"

@@ -1,0 +1,193 @@
+/// \file lexer.cpp
+/// Tokenizer behind spmdlint.  Deliberately smaller than a real C++ lexer:
+/// it only has to be exact about the things the rules key on — comments
+/// (suppressions live there), string literals (array names, and so that
+/// code-looking text inside strings is never analyzed), `#pragma omp
+/// parallel` directives, and identifier/punctuation boundaries.  Notable
+/// simplifications, all deliberate:
+///   * `>>` lexes as two `>` tokens so template argument lists close
+///     without a parser (no rule cares about shift expressions);
+///   * all other preprocessor lines are skipped (continuations honoured);
+///   * raw strings support the R"delim(...)delim" form only.
+
+#include <cctype>
+
+#include "spmdlint.hpp"
+
+namespace spmdlint {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Multi-character punctuators the scanner wants as single tokens.  `>>`
+/// is intentionally absent (see file comment); `>=` never appears inside
+/// a template argument list the rules inspect.
+const char* const kPuncts2[] = {"::", "->", "++", "--", "&&", "||", "==",
+                                "!=", "<=", ">=", "+=", "-=", "*=", "/=",
+                                "%=", "&=", "|=", "^=", "<<"};
+
+}  // namespace
+
+LexedFile lex(std::string path, const std::string& content) {
+  LexedFile out;
+  out.path = std::move(path);
+  const std::size_t n = content.size();
+  std::size_t i = 0;
+  int line = 1;
+  bool line_has_code = false;  // a token already emitted on this line
+
+  auto advance = [&](std::size_t count) {
+    for (std::size_t k = 0; k < count && i < n; ++k, ++i) {
+      if (content[i] == '\n') {
+        ++line;
+        line_has_code = false;
+      }
+    }
+  };
+  auto push = [&](TokKind kind, std::string text, int at) {
+    out.tokens.push_back(Token{kind, std::move(text), at});
+    line_has_code = true;
+  };
+
+  while (i < n) {
+    const char c = content[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' ||
+        c == '\v') {
+      advance(1);
+      continue;
+    }
+
+    // Line comment.
+    if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+      const int at = line;
+      const bool trailing = line_has_code;
+      std::size_t j = i + 2;
+      while (j < n && content[j] != '\n') ++j;
+      out.comments.push_back(
+          Comment{content.substr(i + 2, j - i - 2), at, trailing});
+      advance(j - i);
+      continue;
+    }
+
+    // Block comment.
+    if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+      const int at = line;
+      const bool trailing = line_has_code;
+      std::size_t j = i + 2;
+      while (j + 1 < n && !(content[j] == '*' && content[j + 1] == '/')) ++j;
+      const std::size_t end = (j + 1 < n) ? j + 2 : n;
+      out.comments.push_back(
+          Comment{content.substr(i + 2, j - i - 2), at, trailing});
+      advance(end - i);
+      continue;
+    }
+
+    // Preprocessor directive: only the start-of-line `#` counts.
+    if (c == '#' && !line_has_code) {
+      const int at = line;
+      std::size_t j = i;
+      std::string directive;
+      while (j < n) {
+        if (content[j] == '\\' && j + 1 < n && content[j + 1] == '\n') {
+          directive += ' ';
+          j += 2;
+          continue;
+        }
+        if (content[j] == '\n') break;
+        directive += content[j];
+        ++j;
+      }
+      // Normalize interior whitespace for matching.
+      std::string squeezed;
+      for (char dc : directive) {
+        if (dc == '\t') dc = ' ';
+        if (dc == ' ' && !squeezed.empty() && squeezed.back() == ' ') continue;
+        squeezed += dc;
+      }
+      if (squeezed.rfind("# pragma omp parallel", 0) == 0 ||
+          squeezed.rfind("#pragma omp parallel", 0) == 0) {
+        push(TokKind::kPragmaOmpParallel, squeezed, at);
+        line_has_code = false;  // the pragma is not code on its line
+      }
+      advance(j - i);
+      continue;
+    }
+
+    // Raw string literal (R"delim(...)delim").
+    if (c == 'R' && i + 1 < n && content[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && content[j] != '(') delim += content[j++];
+      const std::string close = ")" + delim + "\"";
+      const std::size_t at_pos = content.find(close, j);
+      const std::size_t end = at_pos == std::string::npos ? n : at_pos + close.size();
+      push(TokKind::kString, content.substr(i, end - i), line);
+      advance(end - i);
+      continue;
+    }
+
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const int at = line;
+      std::size_t j = i + 1;
+      while (j < n && content[j] != quote) {
+        if (content[j] == '\\' && j + 1 < n) ++j;
+        ++j;
+      }
+      const std::size_t end = j < n ? j + 1 : n;
+      push(quote == '"' ? TokKind::kString : TokKind::kChar,
+           content.substr(i, end - i), at);
+      advance(end - i);
+      continue;
+    }
+
+    // Identifier / keyword.
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && ident_char(content[j])) ++j;
+      push(TokKind::kIdent, content.substr(i, j - i), line);
+      advance(j - i);
+      continue;
+    }
+
+    // Number (we never inspect the value; pp-number-ish scan).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(content[i + 1])))) {
+      std::size_t j = i + 1;
+      while (j < n && (ident_char(content[j]) || content[j] == '.' ||
+                       content[j] == '\'' ||
+                       ((content[j] == '+' || content[j] == '-') &&
+                        (content[j - 1] == 'e' || content[j - 1] == 'E' ||
+                         content[j - 1] == 'p' || content[j - 1] == 'P')))) {
+        ++j;
+      }
+      push(TokKind::kNumber, content.substr(i, j - i), line);
+      advance(j - i);
+      continue;
+    }
+
+    // Punctuation: longest match among the two-char set, else one char.
+    bool matched = false;
+    for (const char* p2 : kPuncts2) {
+      if (c == p2[0] && i + 1 < n && content[i + 1] == p2[1]) {
+        push(TokKind::kPunct, p2, line);
+        advance(2);
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    push(TokKind::kPunct, std::string(1, c), line);
+    advance(1);
+  }
+  return out;
+}
+
+}  // namespace spmdlint

@@ -1,0 +1,384 @@
+/// \file main.cpp
+/// spmdlint CLI: file discovery, baseline matching, JSON report, and the
+/// --expect mode the lint corpus test drives.
+///
+/// Exit status: 0 clean (or --expect matched), 1 active findings (or
+/// --expect mismatched), 2 usage/IO error.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "spmdlint.hpp"
+
+namespace fs = std::filesystem;
+using spmdlint::Finding;
+using spmdlint::Rule;
+using spmdlint::Status;
+
+namespace {
+
+struct Options {
+  std::string root = ".";
+  std::string baseline;  // empty: no baseline
+  std::string json_out;
+  std::string expect;  // corpus mode: compare against an expectation file
+  bool list_rules = false;
+  std::vector<std::string> paths;
+};
+
+void usage(std::FILE* to) {
+  std::fprintf(
+      to,
+      "usage: spmdlint [--root DIR] [--baseline FILE | --no-baseline]\n"
+      "                [--json FILE] [--expect FILE] [--list-rules]\n"
+      "                PATH...\n"
+      "\n"
+      "Lints C++ sources (.cpp .cc .hpp .h) for SPMD barrier/collective\n"
+      "discipline.  PATH arguments are files or directories (recursed),\n"
+      "resolved and reported relative to --root.\n");
+}
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h";
+}
+
+/// Path as reported in diagnostics: relative to root, '/'-separated.
+std::string display_path(const fs::path& p, const fs::path& root) {
+  std::error_code ec;
+  fs::path rel = fs::relative(p, root, ec);
+  if (ec || rel.empty() || *rel.begin() == "..") rel = p;
+  return rel.generic_string();
+}
+
+struct BaselineEntry {
+  Rule rule;
+  std::string file;
+  int line;
+  std::string justification;
+  bool used = false;
+};
+
+/// Baseline format, one entry per line:
+///   <rule> <path>:<line> -- <justification>
+/// `#` starts a comment; blank lines ignored.  The justification is
+/// mandatory: a baselined finding without a written reason is a parse
+/// error.
+bool load_baseline(const std::string& path,
+                   std::vector<BaselineEntry>* entries) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "spmdlint: cannot read baseline %s\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  int lineno = 0;
+  bool ok = true;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string s = line;
+    const std::size_t hash = s.find('#');
+    if (hash == 0) continue;
+    while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                          s.back() == '\r')) {
+      s.pop_back();
+    }
+    if (s.empty()) continue;
+    std::istringstream ss(s);
+    std::string rule_name, loc;
+    ss >> rule_name >> loc;
+    BaselineEntry e;
+    const std::size_t colon = loc.rfind(':');
+    std::size_t sep = s.find(" -- ");
+    if (!spmdlint::rule_from_name(rule_name, &e.rule) ||
+        colon == std::string::npos || sep == std::string::npos ||
+        sep + 4 >= s.size()) {
+      std::fprintf(stderr,
+                   "spmdlint: %s:%d: bad baseline entry (want `<rule> "
+                   "<path>:<line> -- <justification>`): %s\n",
+                   path.c_str(), lineno, s.c_str());
+      ok = false;
+      continue;
+    }
+    e.file = loc.substr(0, colon);
+    e.line = std::atoi(loc.c_str() + colon + 1);
+    e.justification = s.substr(sep + 4);
+    entries->push_back(std::move(e));
+  }
+  return ok;
+}
+
+void json_escape(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+const char* status_name(Status s) {
+  switch (s) {
+    case Status::kActive: return "active";
+    case Status::kSuppressed: return "suppressed";
+    case Status::kBaselined: return "baselined";
+  }
+  return "?";
+}
+
+bool write_json(const std::string& path, const std::string& root,
+                const std::vector<Finding>& findings) {
+  std::string out = "{\n  \"schema_version\": 1,\n  \"tool\": \"spmdlint\",\n";
+  out += "  \"root\": \"";
+  json_escape(&out, root);
+  out += "\",\n  \"findings\": [";
+  std::map<std::string, int> counts;
+  bool first = true;
+  for (const Finding& f : findings) {
+    counts[status_name(f.status)]++;
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"rule\": \"";
+    out += spmdlint::rule_name(f.rule);
+    out += "\", \"severity\": \"";
+    out += spmdlint::severity(f.rule);
+    out += "\", \"file\": \"";
+    json_escape(&out, f.file);
+    out += "\", \"line\": " + std::to_string(f.line);
+    out += ", \"status\": \"";
+    out += status_name(f.status);
+    out += "\", \"message\": \"";
+    json_escape(&out, f.message);
+    out += "\"}";
+  }
+  out += first ? "],\n" : "\n  ],\n";
+  out += "  \"counts\": {\"active\": " + std::to_string(counts["active"]) +
+         ", \"suppressed\": " + std::to_string(counts["suppressed"]) +
+         ", \"baselined\": " + std::to_string(counts["baselined"]) + "}\n}\n";
+  std::ofstream o(path);
+  if (!o) {
+    std::fprintf(stderr, "spmdlint: cannot write %s\n", path.c_str());
+    return false;
+  }
+  o << out;
+  return true;
+}
+
+/// Expectation file for the corpus test: `<rule> <path>:<line>` per line,
+/// `#` comments.  Compared against the ACTIVE findings only, so the corpus
+/// also pins that suppressed findings are really suppressed.
+int run_expect(const std::string& path, const std::vector<Finding>& findings) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "spmdlint: cannot read %s\n", path.c_str());
+    return 2;
+  }
+  std::multiset<std::string> expected;
+  std::string line;
+  while (std::getline(in, line)) {
+    while (!line.empty() && (line.back() == ' ' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    if (line.empty() || line[0] == '#') continue;
+    expected.insert(line);
+  }
+  std::multiset<std::string> actual;
+  for (const Finding& f : findings) {
+    if (f.status != Status::kActive) continue;
+    actual.insert(std::string(spmdlint::rule_name(f.rule)) + " " + f.file +
+                  ":" + std::to_string(f.line));
+  }
+  std::vector<std::string> missing, unexpected;
+  std::set_difference(expected.begin(), expected.end(), actual.begin(),
+                      actual.end(), std::back_inserter(missing));
+  std::set_difference(actual.begin(), actual.end(), expected.begin(),
+                      expected.end(), std::back_inserter(unexpected));
+  if (missing.empty() && unexpected.empty()) {
+    std::printf("spmdlint: expectation match: %zu finding(s)\n",
+                actual.size());
+    return 0;
+  }
+  for (const std::string& m : missing) {
+    std::fprintf(stderr, "spmdlint: MISSING expected finding: %s\n",
+                 m.c_str());
+  }
+  for (const std::string& u : unexpected) {
+    std::fprintf(stderr, "spmdlint: UNEXPECTED finding: %s\n", u.c_str());
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  bool no_baseline = false;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto value = [&](const char* flag) -> const std::string* {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "spmdlint: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return &args[++i];
+    };
+    if (a == "--help" || a == "-h") {
+      usage(stdout);
+      return 0;
+    } else if (a == "--list-rules") {
+      opt.list_rules = true;
+    } else if (a == "--root") {
+      const std::string* v = value("--root");
+      if (!v) return 2;
+      opt.root = *v;
+    } else if (a == "--baseline") {
+      const std::string* v = value("--baseline");
+      if (!v) return 2;
+      opt.baseline = *v;
+    } else if (a == "--no-baseline") {
+      no_baseline = true;
+    } else if (a == "--json") {
+      const std::string* v = value("--json");
+      if (!v) return 2;
+      opt.json_out = *v;
+    } else if (a == "--expect") {
+      const std::string* v = value("--expect");
+      if (!v) return 2;
+      opt.expect = *v;
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "spmdlint: unknown option %s\n", a.c_str());
+      usage(stderr);
+      return 2;
+    } else {
+      opt.paths.push_back(a);
+    }
+  }
+  if (no_baseline) opt.baseline.clear();
+
+  if (opt.list_rules) {
+    for (std::size_t i = 0; i < spmdlint::kNumRules; ++i) {
+      const Rule r = static_cast<Rule>(i);
+      std::printf("%-20s %-8s %s\n", spmdlint::rule_name(r),
+                  spmdlint::severity(r), spmdlint::rule_doc(r));
+    }
+    if (opt.paths.empty()) return 0;
+  }
+  if (opt.paths.empty()) {
+    usage(stderr);
+    return 2;
+  }
+
+  const fs::path root = fs::absolute(opt.root);
+
+  // Discover files.
+  std::vector<fs::path> files;
+  for (const std::string& p : opt.paths) {
+    fs::path path = fs::path(p).is_absolute() ? fs::path(p) : root / p;
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      for (auto it = fs::recursive_directory_iterator(path, ec);
+           !ec && it != fs::recursive_directory_iterator(); ++it) {
+        if (it->is_regular_file() && lintable(it->path())) {
+          files.push_back(it->path());
+        }
+      }
+    } else if (fs::is_regular_file(path, ec)) {
+      files.push_back(path);
+    } else {
+      std::fprintf(stderr, "spmdlint: no such file or directory: %s\n",
+                   p.c_str());
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  // Lint.
+  std::vector<Finding> findings;
+  for (const fs::path& f : files) {
+    std::ifstream in(f, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "spmdlint: cannot read %s\n", f.string().c_str());
+      return 2;
+    }
+    std::ostringstream content;
+    content << in.rdbuf();
+    const spmdlint::LexedFile lexed =
+        spmdlint::lex(display_path(f, root), content.str());
+    spmdlint::analyze(lexed, &findings);
+  }
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& x, const Finding& y) {
+                     if (x.file != y.file) return x.file < y.file;
+                     return x.line < y.line;
+                   });
+
+  // Baseline.
+  std::vector<BaselineEntry> baseline;
+  if (!opt.baseline.empty()) {
+    if (!load_baseline(opt.baseline, &baseline)) return 2;
+    for (Finding& f : findings) {
+      if (f.status != Status::kActive) continue;
+      for (BaselineEntry& e : baseline) {
+        if (!e.used && e.rule == f.rule && e.file == f.file &&
+            e.line == f.line) {
+          f.status = Status::kBaselined;
+          e.used = true;
+          break;
+        }
+      }
+    }
+  }
+
+  if (!opt.json_out.empty() &&
+      !write_json(opt.json_out, root.string(), findings)) {
+    return 2;
+  }
+
+  if (!opt.expect.empty()) return run_expect(opt.expect, findings);
+
+  // Human report.
+  int active = 0, suppressed = 0, baselined = 0;
+  for (const Finding& f : findings) {
+    switch (f.status) {
+      case Status::kSuppressed: ++suppressed; continue;
+      case Status::kBaselined: ++baselined; continue;
+      case Status::kActive: break;
+    }
+    ++active;
+    std::printf("%s:%d: %s: [%s] %s\n", f.file.c_str(), f.line,
+                spmdlint::severity(f.rule), spmdlint::rule_name(f.rule),
+                f.message.c_str());
+  }
+  for (const BaselineEntry& e : baseline) {
+    if (!e.used) {
+      std::printf(
+          "note: stale baseline entry (finding no longer fires, remove it): "
+          "%s %s:%d\n",
+          spmdlint::rule_name(e.rule), e.file.c_str(), e.line);
+    }
+  }
+  std::printf(
+      "spmdlint: %zu file(s), %d active, %d suppressed, %d baselined\n",
+      files.size(), active, suppressed, baselined);
+  return active == 0 ? 0 : 1;
+}

@@ -1,0 +1,859 @@
+/// \file rules.cpp
+/// The five spmdlint rules, implemented over the token stream with a
+/// brace/control-flow scope stack — no AST.  Each rule is a lexical
+/// approximation; the blind spots are documented in docs/spmdlint.md and
+/// the corpus under tests/lint_corpus/ pins both the hits and the
+/// near-misses.
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "spmdlint.hpp"
+
+namespace spmdlint {
+
+// ---------------------------------------------------------------------------
+// Rule metadata
+// ---------------------------------------------------------------------------
+
+const char* rule_name(Rule rule) {
+  switch (rule) {
+    case Rule::kBarrierDivergence: return "barrier-divergence";
+    case Rule::kNoteLocalWrite: return "note-local-write";
+    case Rule::kNamedSpread: return "named-spread";
+    case Rule::kOmpEpochHooks: return "omp-epoch-hooks";
+    case Rule::kStaleSuppression: return "stale-suppression";
+  }
+  return "?";
+}
+
+const char* rule_doc(Rule rule) {
+  switch (rule) {
+    case Rule::kBarrierDivergence:
+      return "barrier()/bdm collective reached under rank-dependent control "
+             "flow (divergent barrier sequence deadlocks the machine)";
+    case Rule::kNoteLocalWrite:
+      return "write through Spread/SpreadVec local() storage with no "
+             "note_local_write in the same barrier-delimited region";
+    case Rule::kNamedSpread:
+      return "Spread/SpreadVec constructed without a debug name (race-ledger "
+             "diagnostics identify arrays by name)";
+    case Rule::kOmpEpochHooks:
+      return "#pragma omp parallel region touches shared state but has no "
+             "epoch_check hooks (note_write/note_read/epoch_barrier)";
+    case Rule::kStaleSuppression:
+      return "spmdlint allow() comment that is malformed or suppresses "
+             "nothing";
+  }
+  return "?";
+}
+
+bool rule_from_name(const std::string& name, Rule* out) {
+  for (std::size_t i = 0; i < kNumRules; ++i) {
+    const Rule r = static_cast<Rule>(i);
+    if (name == rule_name(r)) {
+      *out = r;
+      return true;
+    }
+  }
+  return false;
+}
+
+const char* severity(Rule rule) {
+  // A divergent barrier is a machine-wide deadlock or epoch corruption;
+  // everything else degrades diagnostics rather than correctness.
+  return rule == Rule::kBarrierDivergence ? "error" : "warning";
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Vocabulary
+// ---------------------------------------------------------------------------
+
+/// Machine-wide collectives (every processor must call them): the bdm
+/// primitives that contain internal barriers.  The group primitives
+/// (scatter_group/allgather_group) are pull-only and deliberately absent.
+const std::set<std::string>& collectives() {
+  static const std::set<std::string> kSet = {
+      "transpose",      "truncated_transpose",
+      "broadcast",      "gather_to_root",
+      "reduce_to_root", "allreduce",
+      "exscan",         "all_to_all"};
+  return kSet;
+}
+
+/// Identifiers whose value is rank-dependent by construction.
+const std::set<std::string>& rank_roots() {
+  static const std::set<std::string> kSet = {"rank", "grid_row", "grid_col"};
+  return kSet;
+}
+
+/// Container methods that mutate a SpreadVec block through local().
+const std::set<std::string>& mutating_methods() {
+  static const std::set<std::string> kSet = {
+      "resize",       "assign", "clear", "push_back",
+      "emplace_back", "insert", "erase"};
+  return kSet;
+}
+
+const std::set<std::string>& assign_ops() {
+  static const std::set<std::string> kSet = {"=",  "+=", "-=", "*=", "/=",
+                                             "%=", "&=", "|=", "^="};
+  return kSet;
+}
+
+/// Epoch-checker hook spellings (histcc/omp/epoch_check.hpp).
+const std::set<std::string>& epoch_hooks() {
+  static const std::set<std::string> kSet = {"note_write", "note_read",
+                                             "epoch_barrier",
+                                             "advance_epoch_all"};
+  return kSet;
+}
+
+/// Tokens that start (or continue) a type in a declaration.
+const std::set<std::string>& typeish() {
+  static const std::set<std::string> kSet = {
+      "auto",      "const",     "constexpr", "static",  "unsigned",
+      "signed",    "int",       "long",      "short",   "float",
+      "double",    "bool",      "char",      "void",    "std",
+      "size_t",    "ptrdiff_t", "int8_t",    "int16_t", "int32_t",
+      "int64_t",   "uint8_t",   "uint16_t",  "uint32_t", "uint64_t",
+      "uintptr_t", "intptr_t"};
+  return kSet;
+}
+
+/// Identifiers that never make an omp region "touch shared state".
+const std::set<std::string>& neutral_idents() {
+  static const std::set<std::string> kSet = {
+      "if",       "else",    "for",     "while",   "do",
+      "switch",   "case",    "default", "return",  "break",
+      "continue", "sizeof",  "true",    "false",   "nullptr",
+      "this",     "new",     "delete",  "static_cast",
+      "reinterpret_cast",    "const_cast",         "dynamic_cast",
+      "omp_get_thread_num",  "omp_get_num_threads",
+      "omp_get_max_threads", "omp_get_wtime"};
+  return kSet;
+}
+
+bool is_neutral(const std::string& s) {
+  return typeish().count(s) != 0 || neutral_idents().count(s) != 0;
+}
+
+// ---------------------------------------------------------------------------
+// Token helpers
+// ---------------------------------------------------------------------------
+
+using Tokens = std::vector<Token>;
+
+bool is_punct(const Tokens& t, std::size_t i, const char* p) {
+  return i < t.size() && t[i].kind == TokKind::kPunct && t[i].text == p;
+}
+bool is_ident(const Tokens& t, std::size_t i) {
+  return i < t.size() && t[i].kind == TokKind::kIdent;
+}
+bool is_ident(const Tokens& t, std::size_t i, const char* name) {
+  return is_ident(t, i) && t[i].text == name;
+}
+
+/// Index of the token matching the opener at `i` (t[i] must be `open`).
+/// Returns t.size() when unbalanced.
+std::size_t match_forward(const Tokens& t, std::size_t i, const char* open,
+                          const char* close) {
+  int depth = 0;
+  for (std::size_t k = i; k < t.size(); ++k) {
+    if (is_punct(t, k, open)) ++depth;
+    if (is_punct(t, k, close)) {
+      if (--depth == 0) return k;
+    }
+  }
+  return t.size();
+}
+
+/// Match a template argument list opened by `<` at `i`.  The lexer emits
+/// `>` one character at a time, so nesting balances; the 64-token cap
+/// bails out of comparison expressions that merely look like one.
+std::size_t match_template(const Tokens& t, std::size_t i) {
+  int depth = 0;
+  for (std::size_t k = i; k < t.size() && k < i + 64; ++k) {
+    if (is_punct(t, k, "<")) ++depth;
+    if (is_punct(t, k, ">")) {
+      if (--depth == 0) return k;
+    }
+  }
+  return t.size();
+}
+
+// ---------------------------------------------------------------------------
+// Taint: identifiers assigned from rank-dependent expressions
+// ---------------------------------------------------------------------------
+
+/// One-level-per-round data-flow: `x = ...rank...` taints x, iterated to a
+/// fixpoint so `is_manager = rank == m` then `go = is_manager && ...`
+/// chains resolve.  Assignments through members (`a.b = ...`) are ignored.
+std::set<std::string> compute_taint(const Tokens& t) {
+  std::set<std::string> tainted;
+  auto rank_dep = [&](const std::string& s) {
+    return rank_roots().count(s) != 0 || tainted.count(s) != 0;
+  };
+  for (int round = 0; round < 8; ++round) {
+    bool changed = false;
+    for (std::size_t i = 1; i + 1 < t.size(); ++i) {
+      if (!is_punct(t, i, "=")) continue;
+      if (!is_ident(t, i - 1)) continue;
+      if (i >= 2 && (is_punct(t, i - 2, ".") || is_punct(t, i - 2, "->"))) {
+        continue;  // member write; base-object taint not tracked
+      }
+      const std::string& lhs = t[i - 1].text;
+      if (tainted.count(lhs) != 0) continue;
+      // RHS: to `;` or `,` at relative depth 0, or a closer that leaves
+      // the expression.
+      int depth = 0;
+      for (std::size_t k = i + 1; k < t.size(); ++k) {
+        if (t[k].kind == TokKind::kPunct) {
+          const std::string& p = t[k].text;
+          if (p == "(" || p == "[" || p == "{") ++depth;
+          if (p == ")" || p == "]" || p == "}") {
+            if (--depth < 0) break;
+          }
+          if (depth == 0 && (p == ";" || p == ",")) break;
+        }
+        if (is_ident(t, k) && rank_dep(t[k].text)) {
+          tainted.insert(lhs);
+          changed = true;
+          break;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  return tainted;
+}
+
+// ---------------------------------------------------------------------------
+// R4: omp parallel regions
+// ---------------------------------------------------------------------------
+
+using AddFn = std::function<void(Rule, int, std::string)>;
+
+/// An omp parallel region "touches shared state" when it references any
+/// identifier that is neither declared inside the region, nor a type/
+/// keyword/omp-runtime name, nor a member name (`.x` / `->x`).  Calling a
+/// helper function counts — the helper can reach anything.  Such regions
+/// must carry at least one epoch_check hook.
+void analyze_omp_region(const Tokens& t, int pragma_line, std::size_t begin,
+                        std::size_t end, const AddFn& add) {
+  std::set<std::string> declared;
+  bool touches_shared = false;
+  bool has_hooks = false;
+
+  // Pass 1: declarations.  A statement starting with a type-ish token
+  // declares the last plain identifier of its type/declarator chain —
+  // good enough for the loop indices and locals these regions contain.
+  bool stmt_start = true;
+  for (std::size_t k = begin; k <= end && k < t.size(); ++k) {
+    const Token& tok = t[k];
+    if (tok.kind == TokKind::kPunct &&
+        (tok.text == ";" || tok.text == "{" || tok.text == "}")) {
+      stmt_start = true;
+      continue;
+    }
+    // for-init clauses are statements too.
+    if (tok.kind == TokKind::kIdent && tok.text == "for" &&
+        is_punct(t, k + 1, "(")) {
+      stmt_start = true;
+      ++k;  // step onto `(`; the next token starts the init statement
+      continue;
+    }
+    if (!stmt_start) continue;
+    if (tok.kind != TokKind::kIdent || typeish().count(tok.text) == 0) {
+      stmt_start = false;
+      continue;
+    }
+    // Walk the type + declarator: idents, ::, <...>, *, &.
+    std::size_t j = k;
+    std::string last_ident;
+    while (j <= end && j < t.size()) {
+      const Token& d = t[j];
+      if (d.kind == TokKind::kIdent) {
+        last_ident = d.text;
+        ++j;
+        continue;
+      }
+      if (d.kind == TokKind::kPunct &&
+          (d.text == "::" || d.text == "*" || d.text == "&")) {
+        ++j;
+        continue;
+      }
+      if (d.kind == TokKind::kPunct && d.text == "<") {
+        j = match_template(t, j) + 1;
+        continue;
+      }
+      break;
+    }
+    if (!last_ident.empty() && typeish().count(last_ident) == 0) {
+      declared.insert(last_ident);
+    }
+    stmt_start = false;
+    k = j > k ? j - 1 : k;
+  }
+
+  // Pass 2: shared references and hooks.
+  for (std::size_t k = begin; k <= end && k < t.size(); ++k) {
+    const Token& tok = t[k];
+    if (tok.kind != TokKind::kIdent) continue;
+    if (epoch_hooks().count(tok.text) != 0) {
+      has_hooks = true;
+      continue;
+    }
+    if (k > begin &&
+        (is_punct(t, k - 1, ".") || is_punct(t, k - 1, "->") ||
+         is_punct(t, k - 1, "::"))) {
+      continue;  // member / qualified name, not an entity by itself
+    }
+    if (declared.count(tok.text) != 0 || is_neutral(tok.text)) continue;
+    touches_shared = true;
+  }
+
+  if (touches_shared && !has_hooks) {
+    add(Rule::kOmpEpochHooks, pragma_line,
+        "omp parallel region references state declared outside it but has "
+        "no epoch_check hooks (note_write/note_read/epoch_barrier); the "
+        "epoch checker cannot audit this region");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Main scan: R1, R2, R3 (+ dispatch to R4)
+// ---------------------------------------------------------------------------
+
+struct Scope {
+  bool rank_dep = false;  ///< control condition is rank-dependent
+  bool is_if = false;     ///< participates in else-inheritance
+  bool implicit = false;  ///< single-statement control body (no braces)
+  bool is_callable = false;
+  int callable_id = 0;   ///< innermost enclosing callable (self if callable)
+  int saved_region = 0;  ///< for callables: the enclosing region to restore
+  int header_line = 0;   ///< line of the controlling condition
+};
+
+struct Pending {
+  bool active = false;
+  bool rank_dep = false;
+  bool is_if = false;
+  int header_line = 0;
+};
+
+struct BarrierEvent {
+  std::size_t tok;
+  int callable_id;
+};
+
+struct EarlyExit {
+  std::size_t tok;
+  int line;
+  int callable_id;
+  int guard_line;
+  std::string keyword;
+};
+
+struct Mutation {
+  std::string spread;
+  int region;
+  int line;
+};
+
+/// Is `name(` at token i a *call* (not a function definition/declaration)?
+/// Definitions are preceded by a type token (identifier, `>`, `*`, `&`);
+/// calls by punctuation/keywords (`;`, `{`, `}`, `(`, `,`, `::`, `=`, ...).
+bool looks_like_call(const Tokens& t, std::size_t i) {
+  if (i == 0) return true;
+  const Token& prev = t[i - 1];
+  if (prev.kind == TokKind::kIdent) {
+    return prev.text == "return" || prev.text == "co_return";
+  }
+  if (prev.kind == TokKind::kPunct) {
+    return prev.text != ">" && prev.text != "*" && prev.text != "&";
+  }
+  return false;
+}
+
+void scan_file(const LexedFile& file, std::vector<Finding>* out) {
+  const Tokens& t = file.tokens;
+  const std::set<std::string> tainted = compute_taint(t);
+  auto rank_dep_ident = [&](const std::string& s) {
+    return rank_roots().count(s) != 0 || tainted.count(s) != 0;
+  };
+
+  AddFn add = [&](Rule rule, int line, std::string message) {
+    out->push_back(
+        Finding{rule, file.path, line, std::move(message), Status::kActive});
+  };
+
+  // ---- Spread variable set + R3 (named arrays) --------------------------
+  std::set<std::string> spread_vars;
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (!is_ident(t, i) ||
+        (t[i].text != "Spread" && t[i].text != "SpreadVec") ||
+        !is_punct(t, i + 1, "<")) {
+      continue;
+    }
+    const std::size_t close = match_template(t, i + 1);
+    if (close >= t.size()) continue;
+    std::size_t k = close + 1;
+    // Reference/pointer declarators: `Spread<T>& name` binds, not constructs.
+    bool ref = false;
+    while (is_punct(t, k, "&") || is_punct(t, k, "*")) {
+      ref = true;
+      ++k;
+    }
+    if (!is_ident(t, k)) continue;
+    const std::string& var = t[k].text;
+    spread_vars.insert(var);
+    if (ref || !is_punct(t, k + 1, "(")) continue;
+    // Construction: require a string literal among the top-level args.
+    const std::size_t args_close = match_forward(t, k + 1, "(", ")");
+    bool named = false;
+    for (std::size_t a = k + 2; a < args_close; ++a) {
+      if (t[a].kind == TokKind::kString) {
+        named = true;
+        break;
+      }
+    }
+    if (!named) {
+      add(Rule::kNamedSpread, t[k].line,
+          t[i].text + " `" + var +
+              "` is constructed without a debug name; race-ledger "
+              "diagnostics identify arrays by name");
+    }
+  }
+
+  // ---- Structural walk --------------------------------------------------
+  std::vector<Scope> scopes;
+  Pending pending;
+  bool else_pending = false;
+  bool else_rank_dep = false;
+  int else_line = 0;
+  bool last_if_rank_dep = false;
+  int last_if_line = 0;
+  int callable_counter = 0;
+  // Barrier-delimited region id.  Barriers/collectives start a fresh id;
+  // entering a nested callable starts a fresh id and leaving it restores
+  // the enclosing one, so an inline lambda (a sort comparator, say) does
+  // not sever the region around it.
+  int region = 0;
+  int next_region = 0;
+  std::vector<BarrierEvent> barriers;
+  std::vector<EarlyExit> exits;
+  std::map<int, std::size_t> callable_end;   // callable id -> closing tok
+  std::map<std::string, std::string> alias;  // local-span var -> spread
+  std::vector<Mutation> mutations;
+  std::set<std::pair<std::string, int>> annotations;  // (spread, region)
+
+  auto cur_callable = [&]() {
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+      if (it->is_callable) return it->callable_id;
+    }
+    return 0;
+  };
+  auto innermost_rank_guard = [&]() -> const Scope* {
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+      if (it->is_callable) break;  // do not look past the enclosing callable
+      if (it->rank_dep) return &*it;
+    }
+    return nullptr;
+  };
+  auto pop_scope = [&](std::size_t tok_idx) {
+    if (scopes.empty()) return;
+    const Scope s = scopes.back();
+    scopes.pop_back();
+    if (s.is_if) {
+      last_if_rank_dep = s.rank_dep;
+      last_if_line = s.header_line;
+    }
+    if (s.is_callable) {
+      callable_end[s.callable_id] = tok_idx;
+      region = s.saved_region;
+    }
+  };
+
+  auto parse_condition = [&](std::size_t open_paren, std::size_t close) {
+    for (std::size_t k = open_paren + 1; k < close; ++k) {
+      if (is_ident(t, k) && rank_dep_ident(t[k].text)) return true;
+    }
+    return false;
+  };
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const Token& tok = t[i];
+
+    // ---- omp parallel regions (R4) ------------------------------------
+    if (tok.kind == TokKind::kPragmaOmpParallel) {
+      std::size_t begin = i + 1;
+      std::size_t end = begin;
+      if (is_punct(t, begin, "{")) {
+        end = match_forward(t, begin, "{", "}");
+      } else {
+        // Statement form (`parallel for` etc.): to the first `;` at depth
+        // 0, or through the braced body if one opens first.
+        int depth = 0;
+        for (std::size_t k = begin; k < t.size(); ++k) {
+          if (t[k].kind == TokKind::kPunct) {
+            const std::string& p = t[k].text;
+            if (p == "(" || p == "[") ++depth;
+            if (p == ")" || p == "]") --depth;
+            if (p == "{") {
+              end = match_forward(t, k, "{", "}");
+              break;
+            }
+            if (p == ";" && depth == 0) {
+              end = k;
+              break;
+            }
+          }
+        }
+      }
+      analyze_omp_region(t, tok.line, begin, end, add);
+      continue;  // the scope walk still sees the region's tokens normally
+    }
+
+    if (tok.kind != TokKind::kIdent && tok.kind != TokKind::kPunct) continue;
+
+    // ---- control headers ----------------------------------------------
+    if ((is_ident(t, i, "if") || is_ident(t, i, "for") ||
+         is_ident(t, i, "while") || is_ident(t, i, "switch")) &&
+        (is_punct(t, i + 1, "(") ||
+         (is_ident(t, i, "if") && is_ident(t, i + 1, "constexpr") &&
+          is_punct(t, i + 2, "(")))) {
+      const std::size_t open = is_punct(t, i + 1, "(") ? i + 1 : i + 2;
+      const std::size_t close = match_forward(t, open, "(", ")");
+      bool dep = parse_condition(open, close);
+      if (else_pending) {
+        dep = dep || else_rank_dep;  // `else if` inherits divergence
+        else_pending = false;
+      }
+      pending = Pending{true, dep, t[i].text == "if", t[i].line};
+      i = close;  // conditions are expressions; no barriers inside
+      continue;
+    }
+    if (is_ident(t, i, "else")) {
+      else_pending = true;
+      else_rank_dep = last_if_rank_dep;
+      else_line = last_if_line;
+      continue;
+    }
+    if (is_ident(t, i, "do") && is_punct(t, i + 1, "{")) {
+      pending = Pending{true, false, false, t[i].line};
+      continue;
+    }
+
+    // ---- braces / statement ends --------------------------------------
+    if (is_punct(t, i, "{")) {
+      Scope s;
+      s.callable_id = cur_callable();
+      if (pending.active) {
+        s.rank_dep = pending.rank_dep;
+        s.is_if = pending.is_if;
+        s.header_line = pending.header_line;
+        pending = Pending{};
+      } else if (else_pending) {
+        s.rank_dep = else_rank_dep;
+        s.header_line = else_line;
+        else_pending = false;
+      } else if (i > 0 &&
+                 (is_punct(t, i - 1, ")") || is_punct(t, i - 1, "]"))) {
+        // Function or lambda body: a new callable with its own regions.
+        s.is_callable = true;
+        s.callable_id = ++callable_counter;
+        s.saved_region = region;
+        region = ++next_region;
+      }
+      scopes.push_back(s);
+      continue;
+    }
+    if (is_punct(t, i, "}")) {
+      pop_scope(i);
+      continue;
+    }
+    if (is_punct(t, i, ";")) {
+      if (pending.active) pending = Pending{};  // `while (...);` etc.
+      else_pending = false;
+      while (!scopes.empty() && scopes.back().implicit) pop_scope(i);
+      continue;
+    }
+
+    // A control header followed by a statement (no braces) opens an
+    // implicit scope that the next `;` closes; the current token is then
+    // processed as part of that statement.
+    if (pending.active || else_pending) {
+      Scope s;
+      s.callable_id = cur_callable();
+      s.implicit = true;
+      if (pending.active) {
+        s.rank_dep = pending.rank_dep;
+        s.is_if = pending.is_if;
+        s.header_line = pending.header_line;
+        pending = Pending{};
+      } else {
+        s.rank_dep = else_rank_dep;
+        s.header_line = else_line;
+        else_pending = false;
+      }
+      scopes.push_back(s);
+      // fall through: the token itself still needs processing
+    }
+
+    // ---- early exits under rank guards (R1, deferred) ------------------
+    if (is_ident(t, i, "return") || is_ident(t, i, "break") ||
+        is_ident(t, i, "continue")) {
+      if (const Scope* guard = innermost_rank_guard()) {
+        exits.push_back(EarlyExit{i, tok.line, cur_callable(),
+                                  guard->header_line, tok.text});
+      }
+      continue;
+    }
+
+    if (tok.kind != TokKind::kIdent) continue;
+
+    // ---- barriers and collectives (R1 + region segmentation) -----------
+    const bool is_barrier_call =
+        tok.text == "barrier" && is_punct(t, i + 1, "(") && i > 0 &&
+        (is_punct(t, i - 1, ".") || is_punct(t, i - 1, "->"));
+    const bool is_collective_call = collectives().count(tok.text) != 0 &&
+                                    is_punct(t, i + 1, "(") &&
+                                    looks_like_call(t, i);
+    if (is_barrier_call || is_collective_call) {
+      if (const Scope* guard = innermost_rank_guard()) {
+        add(Rule::kBarrierDivergence, tok.line,
+            (is_barrier_call ? std::string("barrier()")
+                             : "collective `" + tok.text + "`") +
+                " is lexically inside rank-dependent control flow "
+                "(condition at line " +
+                std::to_string(guard->header_line) +
+                "); every processor must cross the same barrier sequence");
+      }
+      barriers.push_back(BarrierEvent{i, cur_callable()});
+      region = ++next_region;
+      continue;
+    }
+
+    // ---- local() aliases, mutations, annotations (R2) -------------------
+    if (tok.text == "local" && i >= 2 && is_punct(t, i - 1, ".") &&
+        is_ident(t, i - 2) && spread_vars.count(t[i - 2].text) != 0 &&
+        is_punct(t, i + 1, "(")) {
+      const std::string& spread = t[i - 2].text;
+      // Binding: `auto& v = S.local(self)`.
+      if (i >= 4 && is_punct(t, i - 3, "=") && is_ident(t, i - 4)) {
+        alias[t[i - 4].text] = spread;
+      }
+      // Direct use: S.local(self)[...] op=, S.local(self) = ..., or
+      // S.local(self).mutator(...).
+      const std::size_t close = match_forward(t, i + 1, "(", ")");
+      std::size_t k = close + 1;
+      if (is_punct(t, k, "[")) {
+        k = match_forward(t, k, "[", "]") + 1;
+        if (k < t.size() && t[k].kind == TokKind::kPunct &&
+            (assign_ops().count(t[k].text) != 0 || t[k].text == "++" ||
+             t[k].text == "--")) {
+          mutations.push_back(Mutation{spread, region, tok.line});
+        }
+      } else if (k < t.size() && t[k].kind == TokKind::kPunct &&
+                 assign_ops().count(t[k].text) != 0) {
+        mutations.push_back(Mutation{spread, region, tok.line});
+      } else if (is_punct(t, k, ".") && is_ident(t, k + 1) &&
+                 mutating_methods().count(t[k + 1].text) != 0) {
+        mutations.push_back(Mutation{spread, region, tok.line});
+      }
+      i = close;
+      continue;
+    }
+    if (tok.text == "note_local_write" && i >= 2 && is_punct(t, i - 1, ".") &&
+        is_ident(t, i - 2)) {
+      annotations.insert({t[i - 2].text, region});
+      continue;
+    }
+    // Mutation through an alias of S.local(self).
+    const auto alias_it = alias.find(tok.text);
+    if (alias_it != alias.end() &&
+        !(i > 0 && (is_punct(t, i - 1, ".") || is_punct(t, i - 1, "->") ||
+                    is_punct(t, i - 1, "::")))) {
+      const std::string& spread = alias_it->second;
+      std::size_t k = i + 1;
+      const bool prefix_incdec =
+          i > 0 && (is_punct(t, i - 1, "++") || is_punct(t, i - 1, "--"));
+      if (is_punct(t, k, "[")) {
+        k = match_forward(t, k, "[", "]") + 1;
+        if (prefix_incdec ||
+            (k < t.size() && t[k].kind == TokKind::kPunct &&
+             (assign_ops().count(t[k].text) != 0 || t[k].text == "++" ||
+              t[k].text == "--"))) {
+          mutations.push_back(Mutation{spread, region, tok.line});
+        }
+      } else if (is_punct(t, k, ".") && is_ident(t, k + 1) &&
+                 mutating_methods().count(t[k + 1].text) != 0) {
+        mutations.push_back(Mutation{spread, region, tok.line});
+      } else if (k < t.size() && t[k].kind == TokKind::kPunct &&
+                 assign_ops().count(t[k].text) != 0 && t[k].text != "=") {
+        // Compound assignment writes through the span; a plain `=` on the
+        // alias itself rebinds it (handled at the local() site above).
+        mutations.push_back(Mutation{spread, region, tok.line});
+      }
+      continue;
+    }
+  }
+
+  // ---- R1: early exits followed by a barrier in the same callable -------
+  for (const EarlyExit& e : exits) {
+    const auto end_it = callable_end.find(e.callable_id);
+    const std::size_t end =
+        end_it == callable_end.end() ? t.size() : end_it->second;
+    for (const BarrierEvent& b : barriers) {
+      if (b.callable_id == e.callable_id && b.tok > e.tok && b.tok < end) {
+        add(Rule::kBarrierDivergence, e.line,
+            "`" + e.keyword +
+                "` guarded by rank-dependent control flow (condition at "
+                "line " +
+                std::to_string(e.guard_line) +
+                ") skips a later barrier/collective in the same function "
+                "body");
+        break;
+      }
+    }
+  }
+
+  // ---- R2: mutations without an annotation in the same region -----------
+  std::set<std::pair<std::string, int>> reported;
+  for (const Mutation& m : mutations) {
+    if (annotations.count({m.spread, m.region}) != 0) continue;
+    if (!reported.insert({m.spread, m.region}).second) continue;
+    add(Rule::kNoteLocalWrite, m.line,
+        "local write to spread `" + m.spread + "` has no `" + m.spread +
+            ".note_local_write(...)` in the same barrier-delimited region; "
+            "the race ledger cannot see direct local() stores");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R5 + suppression application
+// ---------------------------------------------------------------------------
+
+struct Allow {
+  Rule rule;
+  int comment_line;
+  bool trailing;
+};
+
+/// Parse `spmdlint: allow(<rule>) -- <reason>` out of a comment.  Returns
+/// 0 on success (allow filled in), 1 if the comment does not mention
+/// spmdlint, 2 on a malformed/unknown directive (error filled in).
+int parse_allow(const Comment& c, Allow* allow, std::string* error) {
+  const std::size_t at = c.text.find("spmdlint:");
+  if (at == std::string::npos) return 1;
+  std::size_t p = at + 9;
+  auto skip_ws = [&] {
+    while (p < c.text.size() && (c.text[p] == ' ' || c.text[p] == '\t')) ++p;
+  };
+  skip_ws();
+  if (c.text.compare(p, 6, "allow(") != 0) {
+    *error =
+        "malformed spmdlint directive (expected `spmdlint: allow(<rule>) -- "
+        "<reason>`)";
+    return 2;
+  }
+  p += 6;
+  const std::size_t close = c.text.find(')', p);
+  if (close == std::string::npos) {
+    *error = "malformed spmdlint directive (unclosed allow(...))";
+    return 2;
+  }
+  const std::string name = c.text.substr(p, close - p);
+  Rule rule;
+  if (!rule_from_name(name, &rule)) {
+    *error = "unknown rule `" + name + "` in spmdlint allow() directive";
+    return 2;
+  }
+  p = close + 1;
+  skip_ws();
+  if (c.text.compare(p, 2, "--") != 0) {
+    *error = "spmdlint allow(" + name +
+             ") has no justification (append ` -- <reason>`)";
+    return 2;
+  }
+  p += 2;
+  skip_ws();
+  if (p >= c.text.size()) {
+    *error =
+        "spmdlint allow(" + name + ") has an empty justification after `--`";
+    return 2;
+  }
+  allow->rule = rule;
+  allow->comment_line = c.line;
+  allow->trailing = c.trailing;
+  return 0;
+}
+
+/// First token line strictly after `line` (target of a standalone allow
+/// comment); 0 when none.
+int next_code_line(const Tokens& t, int line) {
+  int best = 0;
+  for (const Token& tok : t) {
+    if (tok.line > line && (best == 0 || tok.line < best)) best = tok.line;
+  }
+  return best;
+}
+
+}  // namespace
+
+void analyze(const LexedFile& file, std::vector<Finding>* out) {
+  std::vector<Finding> raw;
+  scan_file(file, &raw);
+
+  // Suppressions: a trailing comment targets its own line; a standalone
+  // comment targets the next line carrying code.
+  std::vector<Allow> allows;
+  for (const Comment& c : file.comments) {
+    Allow a;
+    std::string error;
+    const int rc = parse_allow(c, &a, &error);
+    if (rc == 1) continue;
+    if (rc == 2) {
+      raw.push_back(Finding{Rule::kStaleSuppression, file.path, c.line,
+                            std::move(error), Status::kActive});
+      continue;
+    }
+    allows.push_back(a);
+  }
+  for (const Allow& a : allows) {
+    const int target =
+        a.trailing ? a.comment_line : next_code_line(file.tokens, a.comment_line);
+    int hits = 0;
+    for (Finding& f : raw) {
+      if (f.rule == a.rule && f.line == target && f.status == Status::kActive) {
+        f.status = Status::kSuppressed;
+        ++hits;
+      }
+    }
+    if (hits == 0) {
+      raw.push_back(Finding{
+          Rule::kStaleSuppression, file.path, a.comment_line,
+          std::string("stale suppression: `allow(") + rule_name(a.rule) +
+              ")` matches no " + rule_name(a.rule) + " finding on line " +
+              std::to_string(target),
+          Status::kActive});
+    }
+  }
+
+  std::sort(raw.begin(), raw.end(), [](const Finding& x, const Finding& y) {
+    if (x.line != y.line) return x.line < y.line;
+    return static_cast<int>(x.rule) < static_cast<int>(y.rule);
+  });
+  out->insert(out->end(), std::make_move_iterator(raw.begin()),
+              std::make_move_iterator(raw.end()));
+}
+
+}  // namespace spmdlint

@@ -1,0 +1,115 @@
+#ifndef HISTCC_TOOLS_SPMDLINT_HPP
+#define HISTCC_TOOLS_SPMDLINT_HPP
+
+/// \file spmdlint.hpp
+/// A dependency-free static analyzer for the repo's SPMD barrier/collective
+/// discipline (docs/spmdlint.md).
+///
+/// The runtime race ledger (docs/analysis.md) verifies the barrier-epoch
+/// publication protocol on *executed* schedules; spmdlint checks the same
+/// discipline *lexically*, on every machine tier-1 runs on, with no
+/// libclang/clang-tidy dependency: a hand-rolled C++ lexer plus a
+/// brace/control-flow scanner, in the spirit of MPI collective-matching
+/// verifiers (MPI-Checker, Droste et al.).  It is a lint, not a proof:
+/// each rule is a lexical approximation with documented blind spots, and
+/// every rule is individually suppressible with
+///   `// spmdlint: allow(<rule>) -- <reason>`.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace spmdlint {
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+enum class Rule {
+  kBarrierDivergence,  ///< R1: barrier/collective under rank-dependent flow
+  kNoteLocalWrite,     ///< R2: local spread write without epoch annotation
+  kNamedSpread,        ///< R3: Spread/SpreadVec constructed without a name
+  kOmpEpochHooks,      ///< R4: omp parallel region without epoch_check hooks
+  kStaleSuppression,   ///< R5: allow() comment that suppresses nothing
+};
+
+inline constexpr std::size_t kNumRules = 5;
+
+/// Stable rule identifier used in allow() comments, baseline entries, and
+/// the JSON report.
+const char* rule_name(Rule rule);
+
+/// One-line description (for --list-rules and diagnostics).
+const char* rule_doc(Rule rule);
+
+/// Parse a rule name; returns false if unknown.
+bool rule_from_name(const std::string& name, Rule* out);
+
+// ---------------------------------------------------------------------------
+// Tokens
+// ---------------------------------------------------------------------------
+
+enum class TokKind {
+  kIdent,
+  kNumber,
+  kString,
+  kChar,
+  kPunct,
+  kPragmaOmpParallel,  ///< one token per `#pragma omp parallel` directive
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;  ///< for pragmas: the full directive text
+  int line;
+};
+
+struct Comment {
+  std::string text;  ///< without the // or /* */ delimiters
+  int line;          ///< line the comment starts on
+  bool trailing;     ///< code precedes it on the same line
+};
+
+/// Lexed view of one translation unit.  Comments and preprocessor
+/// directives are kept out of `tokens` (except omp-parallel pragmas, which
+/// become kPragmaOmpParallel markers in stream order).
+struct LexedFile {
+  std::string path;  ///< as reported in diagnostics (root-relative)
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Lex `content`; never fails (unterminated constructs are closed at EOF).
+LexedFile lex(std::string path, const std::string& content);
+
+// ---------------------------------------------------------------------------
+// Findings
+// ---------------------------------------------------------------------------
+
+enum class Status {
+  kActive,      ///< reported, fails the run
+  kSuppressed,  ///< matched by an allow() comment
+  kBaselined,   ///< matched by a baseline entry
+};
+
+struct Finding {
+  Rule rule;
+  std::string file;
+  int line;
+  std::string message;
+  Status status = Status::kActive;
+};
+
+/// Severity is per-rule: R1 is an error (a divergent barrier deadlocks or
+/// corrupts every epoch after it), the rest are warnings.  The exit status
+/// does not distinguish: any active finding fails the run.
+const char* severity(Rule rule);
+
+/// Run all rules over one lexed file.  Suppression comments are applied
+/// here (so stale-suppression can be computed per file); baseline matching
+/// is the caller's job.  Appends to `out`.
+void analyze(const LexedFile& file, std::vector<Finding>* out);
+
+}  // namespace spmdlint
+
+#endif  // HISTCC_TOOLS_SPMDLINT_HPP
