@@ -1,15 +1,22 @@
 // Serving-pipeline load generator: closed-loop throughput of the
 // multi-tenant job pipeline (histcc/serve) on this host.
 //
-// Two experiments:
-//   1. Scaling — a fixed mixed workload (histogram + components jobs)
-//      driven closed-loop (2 submitters per pool worker, one job in
-//      flight per submitter) against pool sizes {1, 2, 4}: throughput
-//      should grow with the pool while p50/p99 stay bounded.
+// Three experiments:
+//   1. Scaling — a mixed-aspect workload (histogram + components jobs on
+//      512x256, 128x128, and 320x240 frames, so routing picks different
+//      machine widths per job) driven closed-loop (2 submitters per pool
+//      worker, one job in flight per submitter) against pool sizes
+//      {1, 2, 4}: throughput should grow with the pool while p50/p99
+//      stay bounded.
 //   2. Overload — a single submitter bursts fail-fast jobs at a pipeline
 //      with one worker and a 4-deep queue: the bounded queue must shed
 //      the excess as kRejected instead of buffering without limit, and
 //      every accepted job must still complete.
+//   3. Pool convergence — a single submitter cycles jobs of three
+//      distinct machine widths (p = 16, 4, 2) through a one-slot pool.
+//      With the heterogeneous per-slot LRU cache (machines_per_slot
+//      auto) machines_built() stops growing after the first round; the
+//      legacy one-machine-per-slot mode rebuilds on every width switch.
 //
 // Results go to stdout and to BENCH_pipeline.json (name, p, mean/min ns
 // per job, jobs/second, plus latency percentiles and outcome counters).
@@ -24,6 +31,20 @@ namespace {
 
 using namespace histcc;
 
+/// Deterministic H x W grey image (any aspect ratio) with k levels.
+img::GreyImage make_shape_grey(std::uint32_t h, std::uint32_t w,
+                               std::uint32_t k, std::uint64_t seed) {
+  img::GreyImage image(h, w);
+  std::uint64_t state = seed * 0x9e3779b97f4a7c15ull + 1;
+  for (std::uint32_t i = 0; i < h; ++i) {
+    for (std::uint32_t j = 0; j < w; ++j) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      image(i, j) = static_cast<std::uint8_t>((state >> 33) % k);
+    }
+  }
+  return image;
+}
+
 struct LoadResult {
   double wall_s;         ///< whole-experiment wall time
   std::uint64_t jobs;    ///< jobs completed kOk
@@ -31,17 +52,20 @@ struct LoadResult {
 };
 
 /// Closed-loop driver: `submitters` threads each keep exactly one job in
-/// flight until `jobs_per_submitter` jobs have completed, alternating the
-/// two job kinds per iteration.
+/// flight until `jobs_per_submitter` jobs have completed, rotating
+/// through three mixed-aspect job kinds so the ragged layout's routing
+/// exercises several machine widths at once.
 LoadResult run_closed_loop(std::uint32_t pool_size, int submitters,
                            int jobs_per_submitter) {
-  const auto grey = img::make_random_grey(128, 16, 17);
-  const auto pattern =
-      img::make_test_pattern(img::TestPattern::kFourSquares, 128);
+  // 512x256 -> p=16, 128x128 -> p=4, 320x240 -> p=16; nothing square
+  // about the mix is required any more (docs/layout.md).
+  const auto grey_wide = make_shape_grey(512, 256, 16, 17);
+  const auto grey_small = img::make_random_grey(128, 16, 17);
+  const auto binary_vga = make_shape_grey(320, 240, 2, 29);
 
   serve::PipelineOptions options;
   options.pool_size = pool_size;
-  options.max_procs = 4;  // 128x128 routes to p=4
+  options.max_procs = 16;
   serve::Pipeline pipeline(options);
 
   std::atomic<std::uint64_t> ok{0};
@@ -51,13 +75,16 @@ LoadResult run_closed_loop(std::uint32_t pool_size, int submitters,
   for (int s = 0; s < submitters; ++s) {
     threads.emplace_back([&, s] {
       for (int i = 0; i < jobs_per_submitter; ++i) {
-        if ((s + i) % 2 == 0) {
-          auto result = pipeline.submit_histogram(grey, 16).result.get();
-          if (result.status == serve::JobStatus::kOk) ok++;
+        const int kind = (s + i) % 3;
+        serve::JobStatus status{};
+        if (kind == 0) {
+          status = pipeline.submit_histogram(grey_wide, 16).result.get().status;
+        } else if (kind == 1) {
+          status = pipeline.submit_histogram(grey_small, 16).result.get().status;
         } else {
-          auto result = pipeline.submit_components(pattern).result.get();
-          if (result.status == serve::JobStatus::kOk) ok++;
+          status = pipeline.submit_components(binary_vga).result.get().status;
         }
+        if (status == serve::JobStatus::kOk) ok++;
       }
     });
   }
@@ -74,10 +101,11 @@ int main() {
               "hardware threads)\n\n",
               std::max(1u, std::thread::hardware_concurrency()));
 
-  // Experiment 1: throughput scaling with pool size.
+  // Experiment 1: throughput scaling with pool size over a mixed-aspect,
+  // mixed-width workload (512x256 -> p=16, 128x128 -> p=4, 320x240 -> p=16).
   constexpr int kJobsPerSubmitter = 16;
-  std::printf("scaling: mixed histogram+components jobs, 128x128 (p=4 per "
-              "job), closed loop\n");
+  std::printf("scaling: mixed-aspect histogram+components jobs "
+              "(512x256, 128x128, 320x240), closed loop\n");
   std::printf("  %-10s %-12s %-12s %-12s %-12s %s\n", "pool", "jobs/s",
               "p50 ms", "p99 ms", "queue ms", "machines");
   for (const std::uint32_t pool_size : {1u, 2u, 4u}) {
@@ -93,7 +121,7 @@ int main() {
                 jobs_per_s, r.metrics.wall_p50_s * 1e3,
                 r.metrics.wall_p99_s * 1e3, r.metrics.mean_queue_s * 1e3,
                 static_cast<unsigned long long>(r.metrics.machines_built));
-    json.add("closed_loop_pool" + std::to_string(pool_size), 4, mean_job_ns,
+    json.add("closed_loop_pool" + std::to_string(pool_size), 16, mean_job_ns,
              mean_job_ns, jobs_per_s,
              {{"pool_size", static_cast<double>(pool_size)},
               {"jobs_ok", static_cast<double>(r.jobs)},
@@ -153,6 +181,61 @@ int main() {
               {"rejected", static_cast<double>(rejected)},
               {"queue_capacity", static_cast<double>(options.queue_capacity)},
               {"metric_rejected", static_cast<double>(metrics.rejected)}});
+  }
+
+  // Experiment 3: machines_built() convergence under a mixed-width job
+  // mix.  One slot, jobs cycling through three routed widths (512x256 ->
+  // p=16, 128x128 -> p=4, 97x97 -> p=2).  The heterogeneous per-slot LRU
+  // (machines_per_slot = 0, auto) keeps one warm machine per width, so
+  // the build count converges to 3 after the first round; the legacy
+  // one-machine-per-slot mode (machines_per_slot = 1) rebuilds on every
+  // width switch, so it climbs by 3 per round.
+  std::printf("\nconvergence: 1 slot, width mix p={16,4,2}, 4 rounds\n");
+  {
+    const auto grey_wide = make_shape_grey(512, 256, 16, 31);
+    const auto grey_small = img::make_random_grey(128, 16, 37);
+    const auto grey_odd = make_shape_grey(97, 97, 16, 41);
+    constexpr int kRounds = 4;
+
+    for (const std::uint32_t machines_per_slot : {1u, 0u}) {
+      serve::PipelineOptions options;
+      options.pool_size = 1;
+      options.max_procs = 16;
+      options.machines_per_slot = machines_per_slot;
+      serve::Pipeline pipeline(options);
+
+      std::uint64_t built_round1 = 0;
+      std::uint64_t ok = 0;
+      util::Timer timer;
+      for (int round = 0; round < kRounds; ++round) {
+        for (const auto* image : {&grey_wide, &grey_small, &grey_odd}) {
+          const auto result = pipeline.submit_histogram(*image, 16).result.get();
+          if (result.status == serve::JobStatus::kOk) ok++;
+        }
+        if (round == 0) built_round1 = pipeline.metrics().machines_built;
+      }
+      const double wall_s = timer.seconds();
+      const auto metrics = pipeline.metrics();
+      const char* mode = machines_per_slot == 1 ? "legacy" : "lru-auto";
+      std::printf("  %-10s built after round 1: %llu, after round %d: %llu "
+                  "(%s)\n",
+                  mode, static_cast<unsigned long long>(built_round1), kRounds,
+                  static_cast<unsigned long long>(metrics.machines_built),
+                  metrics.machines_built == built_round1
+                      ? "converged"
+                      : "rebuilding every switch");
+      const auto total = static_cast<std::uint64_t>(kRounds) * 3;
+      json.add(std::string("convergence_") + mode, 16,
+               wall_s * 1e9 / static_cast<double>(total),
+               wall_s * 1e9 / static_cast<double>(total),
+               static_cast<double>(ok) / wall_s,
+               {{"machines_per_slot", static_cast<double>(machines_per_slot)},
+                {"rounds", static_cast<double>(kRounds)},
+                {"jobs_ok", static_cast<double>(ok)},
+                {"machines_built_round1", static_cast<double>(built_round1)},
+                {"machines_built_final",
+                 static_cast<double>(metrics.machines_built)}});
+    }
   }
 
   if (json.write()) {

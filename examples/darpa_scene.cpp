@@ -23,7 +23,8 @@ int main(int argc, char** argv) {
 
   splitc::Machine machine(p);
   const img::TileLayout layout(n, p);
-  splitc::Spread<std::uint8_t> tiles(machine, layout.tile_size(), "scene_tiles");
+  splitc::Spread<std::uint8_t> tiles(machine, layout.max_tile_size(),
+                                     "scene_tiles");
   layout.scatter(scene, tiles);
 
   hist::HistPhases hist_phases;

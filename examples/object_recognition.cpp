@@ -4,7 +4,10 @@
 // distributed, measures every component in parallel (area, bounding box,
 // centroid), and prints the largest recognized objects.
 //
-//   ./object_recognition [n] [p]
+//   ./object_recognition [h] [w] [p]
+//
+// The scene may be any rectangle (ragged tile layout); it is generated
+// square and cropped to h x w.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -13,17 +16,24 @@
 
 int main(int argc, char** argv) {
   using namespace histcc;
-  const std::uint32_t n = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 256;
-  const std::uint32_t p = argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 16;
+  const std::uint32_t h = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 256;
+  const std::uint32_t w = argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 192;
+  const std::uint32_t p = argc > 3 ? static_cast<std::uint32_t>(std::atoi(argv[3])) : 16;
 
-  std::printf("object recognition on a %ux%u DARPA-style scene, p=%u\n", n,
-              n, p);
-  const auto scene = img::make_darpa_like(n);
+  std::printf("object recognition on a %ux%u DARPA-style scene, p=%u\n", h,
+              w, p);
+  const auto square = img::make_darpa_like(std::max(h, w));
+  img::GreyImage scene(h, w);
+  for (std::uint32_t i = 0; i < h; ++i) {
+    for (std::uint32_t j = 0; j < w; ++j) scene(i, j) = square(i, j);
+  }
 
   splitc::Machine machine(p);
-  const img::TileLayout layout(n, p);
-  splitc::Spread<std::uint8_t> tiles(machine, layout.tile_size(), "objrec_tiles");
-  splitc::Spread<std::uint32_t> labels(machine, layout.tile_size(), "objrec_labels");
+  const img::TileLayout layout(h, w, p);
+  splitc::Spread<std::uint8_t> tiles(machine, layout.max_tile_size(),
+                                     "objrec_tiles");
+  splitc::Spread<std::uint32_t> labels(machine, layout.max_tile_size(),
+                                       "objrec_labels");
   layout.scatter(scene, tiles);
 
   // Label in parallel, leaving the labeling distributed...

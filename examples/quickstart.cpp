@@ -1,9 +1,11 @@
 // Quickstart: histogram and label a generated image on a virtual
 // distributed-memory machine, print the results and the BDM cost ledger.
 //
-//   ./quickstart [n] [p]
+//   ./quickstart [h] [w] [p]
 //
-// n: image side (default 256), p: virtual processors (default 16).
+// h x w: image shape (default 256 x 320 — any rectangle works under the
+// ragged tile layout), p: virtual processors (default 16).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
@@ -11,23 +13,30 @@
 
 int main(int argc, char** argv) {
   using namespace histcc;
-  const std::uint32_t n = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 256;
-  const std::uint32_t p = argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 16;
+  const std::uint32_t h = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 256;
+  const std::uint32_t w = argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 320;
+  const std::uint32_t p = argc > 3 ? static_cast<std::uint32_t>(std::atoi(argv[3])) : 16;
 
-  std::printf("histcc %s quickstart: n=%u, p=%u\n", version(), n, p);
+  std::printf("histcc %s quickstart: h=%u, w=%u, p=%u\n", version(), h, w, p);
 
-  // 1. Build a machine and a test scene.
+  // 1. Build a machine and a test scene (generated square, cropped to the
+  // requested rectangle).
   splitc::Machine machine(p);
-  const auto scene = img::make_darpa_like(n);
-  std::printf("generated a %ux%u DARPA-style scene (256 grey levels)\n", n, n);
+  const auto square = img::make_darpa_like(std::max(h, w));
+  img::GreyImage scene(h, w);
+  for (std::uint32_t i = 0; i < h; ++i) {
+    for (std::uint32_t j = 0; j < w; ++j) scene(i, j) = square(i, j);
+  }
+  std::printf("generated a %ux%u DARPA-style scene (256 grey levels)\n", h, w);
 
   // 2. Distribute it once; both algorithms reuse the same tiles.
-  const img::TileLayout layout(n, p);
-  splitc::Spread<std::uint8_t> tiles(machine, layout.tile_size(), "quickstart_tiles");
+  const img::TileLayout layout(h, w, p);
+  splitc::Spread<std::uint8_t> tiles(machine, layout.max_tile_size(), "quickstart_tiles");
   layout.scatter(scene, tiles);
-  std::printf("layout: %ux%u processor grid, %ux%u tiles\n",
-              layout.grid_rows(), layout.grid_cols(), layout.tile_rows(),
-              layout.tile_cols());
+  std::printf("layout: %ux%u processor grid, tiles up to %ux%u "
+              "(edge tiles may be smaller)\n",
+              layout.grid_rows(), layout.grid_cols(), layout.max_tile_rows(),
+              layout.max_tile_cols());
 
   // 3. Histogram (Section 4 of the paper).
   util::Timer timer;

@@ -8,7 +8,9 @@
 namespace histcc::cc {
 namespace {
 
-/// Packed halo line layout per processor: [north r][south r][west q][east q].
+/// Packed halo line layout per processor: [north r][south r][west q][east q],
+/// in each rank's *own* tile shape (ragged layout: offsets differ per rank,
+/// so pulls compute the neighbour's offsets from the neighbour's geometry).
 struct LineOffsets {
   std::size_t north, south, west, east, total;
 };
@@ -25,33 +27,38 @@ img::LabelImage connected_components_label_prop(splitc::Machine& machine,
                                                 ccseq::ColourRule rule,
                                                 LabelPropStats* stats) {
   HISTCC_REQUIRE(tiles.nprocs() == machine.nprocs() &&
-                     tiles.per_proc() >= layout.tile_size(),
+                     tiles.per_proc() >= layout.max_tile_size(),
                  "tiles spread does not match layout");
   const std::uint32_t p = machine.nprocs();
-  const std::uint32_t q = layout.tile_rows();
-  const std::uint32_t r = layout.tile_cols();
   const std::uint32_t v = layout.grid_rows();
   const std::uint32_t w = layout.grid_cols();
-  const auto lines = line_offsets(q, r);
+  // Blocks sized for the largest tile; each rank uses its own prefix.
+  const auto max_lines =
+      line_offsets(layout.max_tile_rows(), layout.max_tile_cols());
 
-  splitc::Spread<std::uint32_t> labels(machine, layout.tile_size(), "labels");
-  splitc::Spread<std::uint32_t> line_lb(machine, lines.total, "line_lb");
-  splitc::Spread<std::uint8_t> line_px(machine, lines.total, "line_px");
+  splitc::Spread<std::uint32_t> labels(machine, layout.max_tile_size(),
+                                       "labels");
+  splitc::Spread<std::uint32_t> line_lb(machine, max_lines.total, "line_lb");
+  splitc::Spread<std::uint8_t> line_px(machine, max_lines.total, "line_px");
   splitc::Spread<std::uint32_t> flags(machine, 1, "flags");
 
   std::uint32_t rounds = 0;
 
   machine.run([&](splitc::Proc& self) {
     const std::uint32_t rank = self.rank();
+    const std::uint32_t q = layout.tile_rows(rank);
+    const std::uint32_t r = layout.tile_cols(rank);
+    const bool nonempty = q > 0 && r > 0;
+    const auto lines = line_offsets(q, r);
     const std::uint32_t gi = layout.proc_row(rank);
     const std::uint32_t gj = layout.proc_col(rank);
     auto my_px = tiles.local(self);
 
     // Local components: comp_id per pixel (1-based; 0 = background) and the
     // current (monotonically decreasing) label per component.
-    std::vector<std::uint32_t> comp_id(layout.tile_size());
+    std::vector<std::uint32_t> comp_id(layout.tile_size(rank));
     std::vector<std::uint32_t> comp_labels;
-    {
+    if (nonempty) {
       ccseq::BfsScratch scratch;
       std::uint32_t next_id = 0;
       ccseq::label_tile(
@@ -61,7 +68,8 @@ img::LabelImage connected_components_label_prop(splitc::Machine& machine,
             return ++next_id;
           },
           scratch);
-      self.charge_ops(12 * layout.tile_size());  // BFS init, as in parallel_cc
+      self.charge_ops(12 * layout.tile_size(rank));  // BFS init, as in
+                                                     // parallel_cc
     }
     auto current_label = [&](std::size_t idx) -> std::uint32_t {
       return comp_id[idx] == 0 ? 0 : comp_labels[comp_id[idx] - 1];
@@ -80,8 +88,9 @@ img::LabelImage connected_components_label_prop(splitc::Machine& machine,
     const bool same_colour = rule == ccseq::ColourRule::kSameColour;
 
     for (;;) {
-      // Step 1: pack my four border lines with current labels.
-      {
+      // Step 1: pack my four border lines with current labels (empty tiles
+      // have no lines to publish but still join every barrier below).
+      if (nonempty) {
         auto plb = line_lb.local(self);
         auto ppx = line_px.local(self);
         for (std::uint32_t j = 0; j < r; ++j) {
@@ -109,9 +118,17 @@ img::LabelImage connected_components_label_prop(splitc::Machine& machine,
       // the halo ring.
       std::fill(halo_lb.begin(), halo_lb.end(), 0u);
       std::fill(halo_px.begin(), halo_px.end(), std::uint8_t{0});
+      // Offsets into a neighbour's packed lines use *its* tile shape; a
+      // pull is skipped when either side is empty (an empty neighbour is
+      // the image edge).  Facing lines match in length because grid
+      // rows/columns share tile_rows/tile_cols.
+      auto nbr_lines = [&](std::uint32_t nbr) {
+        return line_offsets(layout.tile_rows(nbr), layout.tile_cols(nbr));
+      };
       auto pull_line = [&](std::uint32_t nbr, std::size_t src_off,
                            std::size_t len, std::uint32_t hi,
                            std::uint32_t hj, bool row_dir) {
+        if (layout.tile_size(nbr) == 0) return;
         // Fetch into temporaries, then place along a halo row or column.
         std::vector<std::uint32_t> tmp_lb(len);
         std::vector<std::uint8_t> tmp_px(len);
@@ -125,34 +142,42 @@ img::LabelImage connected_components_label_prop(splitc::Machine& machine,
           halo_px[slot] = tmp_px[s];
         }
       };
-      if (gi > 0) {
-        pull_line(layout.rank_at(gi - 1, gj), lines.south, r, 0, 1, true);
-      }
-      if (gi + 1 < v) {
-        pull_line(layout.rank_at(gi + 1, gj), lines.north, r, q + 1, 1, true);
-      }
-      if (gj > 0) {
-        pull_line(layout.rank_at(gi, gj - 1), lines.east, q, 1, 0, false);
-      }
-      if (gj + 1 < w) {
-        pull_line(layout.rank_at(gi, gj + 1), lines.west, q, 1, r + 1, false);
-      }
-      if (eight) {
-        if (gi > 0 && gj > 0) {
-          pull_line(layout.rank_at(gi - 1, gj - 1), lines.south + r - 1, 1, 0,
-                    0, true);
+      if (nonempty) {
+        if (gi > 0) {
+          const std::uint32_t nbr = layout.rank_at(gi - 1, gj);
+          pull_line(nbr, nbr_lines(nbr).south, r, 0, 1, true);
         }
-        if (gi > 0 && gj + 1 < w) {
-          pull_line(layout.rank_at(gi - 1, gj + 1), lines.south, 1, 0, r + 1,
-                    true);
+        if (gi + 1 < v) {
+          const std::uint32_t nbr = layout.rank_at(gi + 1, gj);
+          pull_line(nbr, nbr_lines(nbr).north, r, q + 1, 1, true);
         }
-        if (gi + 1 < v && gj > 0) {
-          pull_line(layout.rank_at(gi + 1, gj - 1), lines.north + r - 1, 1,
-                    q + 1, 0, true);
+        if (gj > 0) {
+          const std::uint32_t nbr = layout.rank_at(gi, gj - 1);
+          pull_line(nbr, nbr_lines(nbr).east, q, 1, 0, false);
         }
-        if (gi + 1 < v && gj + 1 < w) {
-          pull_line(layout.rank_at(gi + 1, gj + 1), lines.north, 1, q + 1,
-                    r + 1, true);
+        if (gj + 1 < w) {
+          const std::uint32_t nbr = layout.rank_at(gi, gj + 1);
+          pull_line(nbr, nbr_lines(nbr).west, q, 1, r + 1, false);
+        }
+        if (eight) {
+          if (gi > 0 && gj > 0) {
+            const std::uint32_t nbr = layout.rank_at(gi - 1, gj - 1);
+            pull_line(nbr, nbr_lines(nbr).south + layout.tile_cols(nbr) - 1,
+                      1, 0, 0, true);
+          }
+          if (gi > 0 && gj + 1 < w) {
+            const std::uint32_t nbr = layout.rank_at(gi - 1, gj + 1);
+            pull_line(nbr, nbr_lines(nbr).south, 1, 0, r + 1, true);
+          }
+          if (gi + 1 < v && gj > 0) {
+            const std::uint32_t nbr = layout.rank_at(gi + 1, gj - 1);
+            pull_line(nbr, nbr_lines(nbr).north + layout.tile_cols(nbr) - 1,
+                      1, q + 1, 0, true);
+          }
+          if (gi + 1 < v && gj + 1 < w) {
+            const std::uint32_t nbr = layout.rank_at(gi + 1, gj + 1);
+            pull_line(nbr, nbr_lines(nbr).north, 1, q + 1, r + 1, true);
+          }
         }
       }
       self.sync();
@@ -185,15 +210,20 @@ img::LabelImage connected_components_label_prop(splitc::Machine& machine,
           }
         }
       };
-      for (std::uint32_t j = 0; j < r; ++j) {
-        relax(0, j);
-        if (q > 1) relax(q - 1, j);
+      if (nonempty) {
+        for (std::uint32_t j = 0; j < r; ++j) {
+          relax(0, j);
+          if (q > 1) relax(q - 1, j);
+        }
+        for (std::uint32_t i = 1; i + 1 < q; ++i) {
+          relax(i, 0);
+          if (r > 1) relax(i, r - 1);
+        }
+        self.charge_ops(2ull * 9 * (q + r));  // up to 8 neighbours +
+                                              // bookkeeping
       }
-      for (std::uint32_t i = 1; i + 1 < q; ++i) {
-        relax(i, 0);
-        if (r > 1) relax(i, r - 1);
-      }
-      self.charge_ops(2ull * 9 * (q + r));  // up to 8 neighbours + bookkeeping
+      // Every rank (empty tiles included: changed == false) votes, so the
+      // fixpoint read below sees a fresh word from all p processors.
       flags.local(self)[0] = changed ? 1u : 0u;
       flags.note_local_write(self, 0, 1);  // race-ledger epoch annotation
       self.barrier();  // publish flags
@@ -212,10 +242,13 @@ img::LabelImage connected_components_label_prop(splitc::Machine& machine,
 
     // Materialize the final labeling.
     auto out = labels.local(self);
-    for (std::size_t idx = 0; idx < layout.tile_size(); ++idx) {
+    const std::size_t count = layout.tile_size(rank);
+    for (std::size_t idx = 0; idx < count; ++idx) {
       out[idx] = current_label(idx);
     }
-    labels.note_local_write(self);  // race-ledger epoch annotation
+    if (count > 0) {
+      labels.note_local_write(self);  // race-ledger epoch annotation
+    }
     self.barrier();
   });
 
@@ -228,8 +261,10 @@ img::LabelImage connected_components_label_prop(splitc::Machine& machine,
                                                 ccseq::Connectivity conn,
                                                 ccseq::ColourRule rule,
                                                 LabelPropStats* stats) {
-  const img::TileLayout layout(image.height(), machine.nprocs());
-  splitc::Spread<std::uint8_t> tiles(machine, layout.tile_size(), "prop_tiles");
+  const img::TileLayout layout(image.height(), image.width(),
+                               machine.nprocs());
+  splitc::Spread<std::uint8_t> tiles(machine, layout.max_tile_size(),
+                                     "prop_tiles");
   layout.scatter(image, tiles);
   return connected_components_label_prop(machine, layout, tiles, conn, rule,
                                          stats);

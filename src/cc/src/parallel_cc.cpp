@@ -47,13 +47,11 @@ void connected_components_parallel(splitc::Machine& machine,
                                    const CcOptions& options,
                                    CcPhases* phases) {
   HISTCC_REQUIRE(tiles.nprocs() == machine.nprocs() &&
-                     tiles.per_proc() >= layout.tile_size(),
+                     tiles.per_proc() >= layout.max_tile_size(),
                  "tiles spread does not match layout");
   HISTCC_REQUIRE(labels.nprocs() == machine.nprocs() &&
-                     labels.per_proc() >= layout.tile_size(),
+                     labels.per_proc() >= layout.max_tile_size(),
                  "labels spread does not match layout");
-  const std::uint32_t q = layout.tile_rows();
-  const std::uint32_t r = layout.tile_cols();
   const util::GridShape grid{layout.grid_rows(), layout.grid_cols()};
   const auto schedule = merge_schedule(grid);
 
@@ -72,6 +70,11 @@ void connected_components_parallel(splitc::Machine& machine,
   machine.run([&](splitc::Proc& self) {
     ProcState st;
     const std::uint32_t rank = self.rank();
+    // Ragged layout: every rank works in its own tile shape (possibly
+    // empty); barriers and collective phases below stay uniform.
+    const std::uint32_t q = layout.tile_rows(rank);
+    const std::uint32_t r = layout.tile_cols(rank);
+    const bool nonempty = q > 0 && r > 0;
     const std::uint32_t grid_row = layout.proc_row(rank);
     const std::uint32_t grid_col = layout.proc_col(rank);
     const bool timing = rank == 0;
@@ -80,27 +83,48 @@ void connected_components_parallel(splitc::Machine& machine,
     // -------- Phase 0: initialization (Section 5.1) --------
     auto my_px = tiles.local(self);
     auto my_lb = labels.local(self);
-    ccseq::label_tile(
-        my_px, my_lb, q, r, options.connectivity, options.rule,
-        [&](std::uint32_t i, std::uint32_t j) {
-          return layout.initial_label(rank, i, j);
-        },
-        st.bfs);
-    st.border_offsets = tile_border_offsets(q, r);
-    st.hooks = make_tile_hooks(my_px, my_lb, st.border_offsets);
-    labels.note_local_write(self);  // race-ledger epoch annotation
-    self.charge_ops(kOpsPerLabeledPixel * layout.tile_size());
+    if (nonempty) {
+      ccseq::label_tile(
+          my_px, my_lb, q, r, options.connectivity, options.rule,
+          [&](std::uint32_t i, std::uint32_t j) {
+            return layout.initial_label(rank, i, j);
+          },
+          st.bfs);
+      st.border_offsets = tile_border_offsets(q, r);
+      st.hooks = make_tile_hooks(my_px, my_lb, st.border_offsets);
+      labels.note_local_write(self);  // race-ledger epoch annotation
+      self.charge_ops(kOpsPerLabeledPixel * layout.tile_size(rank));
+    }
     self.barrier();
     if (timing) local_phases.init_s = timer.seconds();
 
     // -------- log p merge iterations (Sections 5.2-5.4) --------
     for (const auto& phase : schedule) {
       const GroupInfo group = group_of(phase, grid, grid_row, grid_col);
-      const std::size_t side_words = phase.horizontal ? q : r;
-      const std::size_t side_len =
-          static_cast<std::size_t>(group.side_procs) * side_words;
+      // Ragged geometry: the border between grid columns border_lo and
+      // border_lo+1 (or grid rows, vertically) only carries pixels when
+      // *both* sides own any; and each of the side_procs strips along it
+      // has its own length (rows_in/cols_in of its grid row/column — zero
+      // for trailing empty ones).  Both sides share the same strip
+      // lengths, so merge_border's equal-length precondition holds.
+      const bool live_border =
+          phase.horizontal
+              ? (layout.cols_in(group.border_lo) > 0 &&
+                 layout.cols_in(group.border_lo + 1) > 0)
+              : (layout.rows_in(group.border_lo) > 0 &&
+                 layout.rows_in(group.border_lo + 1) > 0);
+      auto strip_words = [&](std::uint32_t idx) -> std::size_t {
+        if (!live_border) return 0;
+        return phase.horizontal ? layout.rows_in(group.row0 + idx)
+                                : layout.cols_in(group.col0 + idx);
+      };
+      std::vector<std::size_t> strip_off(group.side_procs + 1, 0);
+      for (std::uint32_t idx = 0; idx < group.side_procs; ++idx) {
+        strip_off[idx + 1] = strip_off[idx] + strip_words(idx);
+      }
+      const std::size_t side_len = strip_off[group.side_procs];
 
-      // Pack my strip of the border, if I own one.
+      // Pack my strip of the border, if I own one (and it is live).
       timer.reset();
       {
         auto& ppx = pack_px.local(self);
@@ -108,14 +132,16 @@ void connected_components_parallel(splitc::Machine& machine,
         ppx.clear();
         plb.clear();
         if (phase.horizontal) {
-          if (grid_col == group.border_lo) {  // east column of my tile
+          if (live_border && nonempty && grid_col == group.border_lo) {
+            // east column of my tile
             ppx.resize(q);
             plb.resize(q);
             for (std::uint32_t i = 0; i < q; ++i) {
               ppx[i] = my_px[static_cast<std::size_t>(i) * r + r - 1];
               plb[i] = my_lb[static_cast<std::size_t>(i) * r + r - 1];
             }
-          } else if (grid_col == group.border_lo + 1) {  // west column
+          } else if (live_border && nonempty &&
+                     grid_col == group.border_lo + 1) {  // west column
             ppx.resize(q);
             plb.resize(q);
             for (std::uint32_t i = 0; i < q; ++i) {
@@ -124,13 +150,15 @@ void connected_components_parallel(splitc::Machine& machine,
             }
           }
         } else {
-          if (grid_row == group.border_lo) {  // south row of my tile
+          if (live_border && nonempty && grid_row == group.border_lo) {
+            // south row of my tile
             const std::size_t base = static_cast<std::size_t>(q - 1) * r;
             ppx.assign(my_px.begin() + static_cast<std::ptrdiff_t>(base),
                        my_px.begin() + static_cast<std::ptrdiff_t>(base + r));
             plb.assign(my_lb.begin() + static_cast<std::ptrdiff_t>(base),
                        my_lb.begin() + static_cast<std::ptrdiff_t>(base + r));
-          } else if (grid_row == group.border_lo + 1) {  // north row
+          } else if (live_border && nonempty &&
+                     grid_row == group.border_lo + 1) {  // north row
             ppx.assign(my_px.begin(), my_px.begin() + r);
             plb.assign(my_lb.begin(), my_lb.begin() + r);
           }
@@ -158,14 +186,16 @@ void connected_components_parallel(splitc::Machine& machine,
         px.resize(side_len);
         lb.resize(side_len);
         for (std::uint32_t idx = 0; idx < group.side_procs; ++idx) {
+          const std::size_t words = strip_off[idx + 1] - strip_off[idx];
+          if (words == 0) continue;  // empty strip (trailing grid row/col)
           const std::uint32_t owner = strip_owner(lo_side, idx);
-          const std::size_t off = static_cast<std::size_t>(idx) * side_words;
+          const std::size_t off = strip_off[idx];
           pack_px.prefetch(self,
-                           std::span<std::uint8_t>(px).subspan(off, side_words),
-                           owner, 0, side_words);
+                           std::span<std::uint8_t>(px).subspan(off, words),
+                           owner, 0, words);
           pack_lb.prefetch(self,
-                           std::span<std::uint32_t>(lb).subspan(off, side_words),
-                           owner, 0, side_words);
+                           std::span<std::uint32_t>(lb).subspan(off, words),
+                           owner, 0, words);
         }
         self.sync();
       };
@@ -251,25 +281,28 @@ void connected_components_parallel(splitc::Machine& machine,
         self.sync();
       }
 
-      if (options.full_relabel_each_phase) {
-        update_all_labels(my_lb, my_px, st.changes);
-        self.charge_ops(kOpsPerBorderUpdate * layout.tile_size());
-      } else {
-        update_border_labels(my_lb, my_px, st.border_offsets, st.changes);
-        self.charge_ops(kOpsPerBorderUpdate * st.border_offsets.size());
+      if (nonempty) {
+        if (options.full_relabel_each_phase) {
+          update_all_labels(my_lb.subspan(0, layout.tile_size(rank)), my_px,
+                            st.changes);
+          self.charge_ops(kOpsPerBorderUpdate * layout.tile_size(rank));
+        } else {
+          update_border_labels(my_lb, my_px, st.border_offsets, st.changes);
+          self.charge_ops(kOpsPerBorderUpdate * st.border_offsets.size());
+        }
+        labels.note_local_write(self);  // race-ledger epoch annotation
       }
-      labels.note_local_write(self);  // race-ledger epoch annotation
       self.barrier();  // end of merge iteration
       if (timing) local_phases.update_s += timer.seconds();
     }
 
     // -------- Total consistency update --------
     timer.reset();
-    if (!options.full_relabel_each_phase) {
+    if (!options.full_relabel_each_phase && nonempty) {
       relabel_interior(my_lb, q, r, st.hooks, options.connectivity,
                        st.visited);
       labels.note_local_write(self);  // race-ledger epoch annotation
-      self.charge_ops(kOpsPerRelabeledPixel * layout.tile_size());
+      self.charge_ops(kOpsPerRelabeledPixel * layout.tile_size(rank));
     }
     self.barrier();
     if (timing) local_phases.final_s = timer.seconds();
@@ -283,7 +316,8 @@ img::LabelImage connected_components_parallel(splitc::Machine& machine,
                                               splitc::Spread<std::uint8_t>& tiles,
                                               const CcOptions& options,
                                               CcPhases* phases) {
-  splitc::Spread<std::uint32_t> labels(machine, layout.tile_size(), "labels");
+  splitc::Spread<std::uint32_t> labels(machine, layout.max_tile_size(),
+                                       "labels");
   connected_components_parallel(machine, layout, tiles, labels, options,
                                 phases);
   return layout.gather(labels);
@@ -293,8 +327,9 @@ img::LabelImage connected_components_parallel(splitc::Machine& machine,
                                               const img::GreyImage& image,
                                               const CcOptions& options,
                                               CcPhases* phases) {
-  const img::TileLayout layout(image.height(), machine.nprocs());
-  splitc::Spread<std::uint8_t> tiles(machine, layout.tile_size(), "tiles");
+  const img::TileLayout layout(image.height(), image.width(),
+                               machine.nprocs());
+  splitc::Spread<std::uint8_t> tiles(machine, layout.max_tile_size(), "tiles");
   layout.scatter(image, tiles);
   return connected_components_parallel(machine, layout, tiles, options,
                                        phases);

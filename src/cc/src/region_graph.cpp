@@ -74,7 +74,7 @@ std::vector<RegionEdge> region_adjacency_parallel(
     splitc::Machine& machine, const img::TileLayout& layout,
     splitc::Spread<std::uint32_t>& labels, ccseq::Connectivity conn) {
   HISTCC_REQUIRE(labels.nprocs() == machine.nprocs() &&
-                     labels.per_proc() >= layout.tile_size(),
+                     labels.per_proc() >= layout.max_tile_size(),
                  "labels spread does not match layout");
   const std::uint32_t p = machine.nprocs();
   const bool eight = conn == ccseq::Connectivity::kEight;
@@ -90,15 +90,16 @@ std::vector<RegionEdge> region_adjacency_parallel(
     // that a pair straddling a tile border is seen by the forward scan of
     // exactly the tile owning its first endpoint, which is what the halo
     // (rather than a double-width exchange) guarantees.
+    const std::uint32_t rank = self.rank();
     std::vector<std::uint32_t> halo;
     halos.exchange(self, labels, halo);
     auto& mine = partial.local(self);
     mine.clear();
-    forward_scan(halo.data(), halos.halo_cols(), layout.tile_rows(),
-                 layout.tile_cols(), eight, mine);
+    forward_scan(halo.data(), halos.halo_cols(rank), layout.tile_rows(rank),
+                 layout.tile_cols(rank), eight, mine);
     dedupe(mine);
     partial.note_local_write(self);  // race-ledger epoch annotation
-    self.charge_ops((eight ? 4ull : 2ull) * layout.tile_size());
+    self.charge_ops((eight ? 4ull : 2ull) * layout.tile_size(rank));
     self.barrier();  // publish partial edge lists
 
     if (self.rank() == 0) {
@@ -122,8 +123,10 @@ std::vector<RegionEdge> region_adjacency_parallel(
 std::vector<RegionEdge> region_adjacency_parallel(splitc::Machine& machine,
                                                   const img::LabelImage& labels,
                                                   ccseq::Connectivity conn) {
-  const img::TileLayout layout(labels.height(), machine.nprocs());
-  splitc::Spread<std::uint32_t> tiles(machine, layout.tile_size(), "rag_tiles");
+  const img::TileLayout layout(labels.height(), labels.width(),
+                               machine.nprocs());
+  splitc::Spread<std::uint32_t> tiles(machine, layout.max_tile_size(),
+                                      "rag_tiles");
   layout.scatter(labels, tiles);
   return region_adjacency_parallel(machine, layout, tiles, conn);
 }

@@ -12,14 +12,12 @@ std::vector<ccseq::ComponentStats> component_stats_parallel(
     splitc::Spread<std::uint8_t>& tiles,
     splitc::Spread<std::uint32_t>& labels) {
   HISTCC_REQUIRE(tiles.nprocs() == machine.nprocs() &&
-                     tiles.per_proc() >= layout.tile_size(),
+                     tiles.per_proc() >= layout.max_tile_size(),
                  "tiles spread does not match layout");
   HISTCC_REQUIRE(labels.nprocs() == machine.nprocs() &&
-                     labels.per_proc() >= layout.tile_size(),
+                     labels.per_proc() >= layout.max_tile_size(),
                  "labels spread does not match layout");
   const std::uint32_t p = machine.nprocs();
-  const std::uint32_t q = layout.tile_rows();
-  const std::uint32_t r = layout.tile_cols();
 
   splitc::SpreadVec<ccseq::ComponentStats> partials(machine,
                                                     "stats_partials");
@@ -27,6 +25,8 @@ std::vector<ccseq::ComponentStats> component_stats_parallel(
 
   machine.run([&](splitc::Proc& self) {
     const std::uint32_t rank = self.rank();
+    const std::uint32_t q = layout.tile_rows(rank);
+    const std::uint32_t r = layout.tile_cols(rank);
     auto px = tiles.local(self);
     auto lb = labels.local(self);
 
@@ -64,7 +64,7 @@ std::vector<ccseq::ComponentStats> component_stats_parallel(
     sortutil::hybrid_sort_by(
         mine, [](const ccseq::ComponentStats& s) { return s.label; });
     partials.note_local_write(self);  // race-ledger epoch annotation
-    self.charge_ops(2 * layout.tile_size());
+    self.charge_ops(2 * layout.tile_size(rank));
     self.barrier();  // publish partials
 
     // Root collects every partial list circularly and merges by label.
@@ -101,9 +101,12 @@ std::vector<ccseq::ComponentStats> component_stats_parallel(
 std::vector<ccseq::ComponentStats> component_stats_parallel(
     splitc::Machine& machine, const img::GreyImage& image,
     const img::LabelImage& labels) {
-  const img::TileLayout layout(image.height(), machine.nprocs());
-  splitc::Spread<std::uint8_t> tiles(machine, layout.tile_size(), "stats_tiles");
-  splitc::Spread<std::uint32_t> label_tiles(machine, layout.tile_size(), "stats_labels");
+  const img::TileLayout layout(image.height(), image.width(),
+                               machine.nprocs());
+  splitc::Spread<std::uint8_t> tiles(machine, layout.max_tile_size(),
+                                     "stats_tiles");
+  splitc::Spread<std::uint32_t> label_tiles(machine, layout.max_tile_size(),
+                                            "stats_labels");
   layout.scatter(image, tiles);
   layout.scatter(labels, label_tiles);
   return component_stats_parallel(machine, layout, tiles, label_tiles);

@@ -51,8 +51,7 @@ void equalize_parallel(splitc::Machine& machine, const img::TileLayout& layout,
 
   // Phase 2: processor 0 builds the remap table; Algorithm 2 broadcasts
   // it; every processor remaps its tile locally.
-  const std::uint64_t total =
-      static_cast<std::uint64_t>(layout.n()) * layout.n();
+  const std::uint64_t total = layout.pixels();
   const auto map = equalization_map(counts, total);
 
   splitc::Spread<std::uint8_t> table_src(machine, k, "eq_table_src");
@@ -64,11 +63,13 @@ void equalize_parallel(splitc::Machine& machine, const img::TileLayout& layout,
     bdm::broadcast(self, table, table_src, scratch, k);
     auto my_map = table.local(self);
     auto px = tiles.local(self);
-    const std::size_t count = layout.tile_size();
+    const std::size_t count = layout.tile_size(self.rank());
     for (std::size_t idx = 0; idx < count; ++idx) {
       px[idx] = my_map[px[idx]];
     }
-    tiles.note_local_write(self);  // race-ledger epoch annotation
+    if (count > 0) {
+      tiles.note_local_write(self);  // race-ledger epoch annotation
+    }
     self.charge_ops(count);
   });
 }

@@ -35,7 +35,7 @@ std::vector<std::uint32_t> histogram_parallel(splitc::Machine& machine,
                                               HistPhases* phases) {
   require_k(k);
   HISTCC_REQUIRE(tiles.nprocs() == machine.nprocs() &&
-                     tiles.per_proc() >= layout.tile_size(),
+                     tiles.per_proc() >= layout.max_tile_size(),
                  "tiles spread does not match layout");
   const std::uint32_t p = machine.nprocs();
 
@@ -61,12 +61,14 @@ std::vector<std::uint32_t> histogram_parallel(splitc::Machine& machine,
     {
       auto h = local_h.local(self);
       auto px = tiles.local(self);
-      const std::size_t count = layout.tile_size();
+      const std::size_t count = layout.tile_size(self.rank());
       for (std::size_t idx = 0; idx < count; ++idx) {
         HISTCC_REQUIRE(px[idx] < k, "pixel value exceeds grey-level count");
         ++h[px[idx]];
       }
-      local_h.note_local_write(self);  // race-ledger epoch annotation
+      if (count > 0) {
+        local_h.note_local_write(self);  // race-ledger epoch annotation
+      }
       self.charge_ops(count);
       self.barrier();
       if (timing) local_phases.tally_s = timer.seconds();
@@ -127,8 +129,10 @@ std::vector<std::uint32_t> histogram_parallel(splitc::Machine& machine,
                                               const img::GreyImage& image,
                                               std::uint32_t k,
                                               HistPhases* phases) {
-  const img::TileLayout layout(image.height(), machine.nprocs());
-  splitc::Spread<std::uint8_t> tiles(machine, layout.tile_size(), "hist_tiles");
+  const img::TileLayout layout(image.height(), image.width(),
+                               machine.nprocs());
+  splitc::Spread<std::uint8_t> tiles(machine, layout.max_tile_size(),
+                                     "hist_tiles");
   layout.scatter(image, tiles);
   return histogram_parallel(machine, layout, tiles, k, phases);
 }

@@ -10,7 +10,13 @@
 /// four diagonal corner pixels.  `HaloExchangerT<T>` packs every
 /// processor's border lines into a spread buffer, barriers, and pulls the
 /// facing lines into a (q+2) x (r+2) halo whose outer ring is the
-/// neighbours' data (zero outside the image).
+/// neighbours' data (zero outside the image), with q and r the *caller's*
+/// per-rank tile shape (docs/layout.md).  Under the ragged layout the
+/// packed line offsets differ per rank, so pulls index with the
+/// neighbour's geometry; facing lines still match in length because tiles
+/// in one grid row/column share tile_rows/tile_cols.  Empty tiles pack
+/// and pull nothing but still take part in the barrier, and an empty
+/// neighbour reads as image edge (zeros).
 /// Tcomm = tau + (2(q + r) + 4) * words(T) per exchange.
 
 #include <algorithm>
@@ -31,52 +37,66 @@ class HaloExchangerT {
  public:
   HaloExchangerT(splitc::Machine& machine, const TileLayout& layout)
       : layout_(layout),
-        lines_(machine, 2ull * (layout.tile_rows() + layout.tile_cols()),
+        lines_(machine,
+               2ull * (layout.max_tile_rows() + layout.max_tile_cols()),
                "halo_lines") {}
 
-  /// Rows of the halo buffer: q + 2.
-  [[nodiscard]] std::uint32_t halo_rows() const noexcept {
-    return layout_.tile_rows() + 2;
+  /// Rows of `rank`'s halo buffer: tile_rows(rank) + 2.
+  [[nodiscard]] std::uint32_t halo_rows(std::uint32_t rank) const noexcept {
+    return layout_.tile_rows(rank) + 2;
   }
-  /// Columns of the halo buffer: r + 2.
-  [[nodiscard]] std::uint32_t halo_cols() const noexcept {
-    return layout_.tile_cols() + 2;
+  /// Columns of `rank`'s halo buffer: tile_cols(rank) + 2.
+  [[nodiscard]] std::uint32_t halo_cols(std::uint32_t rank) const noexcept {
+    return layout_.tile_cols(rank) + 2;
   }
 
-  /// Fill `halo` (resized to halo_rows x halo_cols, row-major) with this
-  /// processor's tile in the centre and its neighbours' adjacent lines in
-  /// the outer ring (zeros beyond the image edge).  Collective.
+  /// Fill `halo` (resized to halo_rows x halo_cols of the calling rank,
+  /// row-major) with this processor's tile in the centre and its
+  /// neighbours' adjacent lines in the outer ring (zeros beyond the image
+  /// edge).  Collective — every rank calls, including empty tiles.
   void exchange(splitc::Proc& self, splitc::Spread<T>& tiles,
                 std::vector<T>& halo) {
-    const std::uint32_t q = layout_.tile_rows();
-    const std::uint32_t r = layout_.tile_cols();
+    const std::uint32_t rank = self.rank();
+    const std::uint32_t q = layout_.tile_rows(rank);
+    const std::uint32_t r = layout_.tile_cols(rank);
     const std::uint32_t v = layout_.grid_rows();
     const std::uint32_t w = layout_.grid_cols();
-    const std::size_t north = 0, south = r, west = 2ull * r,
-                      east = 2ull * r + q;
-
-    const std::uint32_t rank = self.rank();
     const std::uint32_t gi = layout_.proc_row(rank);
     const std::uint32_t gj = layout_.proc_col(rank);
     auto my_px = tiles.local(self);
 
-    // Pack my four border lines.
-    {
+    // Packed per-rank line offsets: [north r][south r][west q][east q],
+    // laid out by that rank's own tile shape.
+    struct Offsets {
+      std::size_t north, south, west, east;
+    };
+    auto offsets_of = [&](std::uint32_t who) -> Offsets {
+      const std::size_t nr = layout_.tile_cols(who);
+      const std::size_t nq = layout_.tile_rows(who);
+      return {0, nr, 2 * nr, 2 * nr + nq};
+    };
+    const Offsets mine_off = offsets_of(rank);
+
+    // Pack my four border lines (nothing to pack — or publish — for an
+    // empty tile).
+    if (q > 0 && r > 0) {
       auto mine = lines_.local(self);
       for (std::uint32_t j = 0; j < r; ++j) {
-        mine[north + j] = my_px[j];
-        mine[south + j] = my_px[static_cast<std::size_t>(q - 1) * r + j];
+        mine[mine_off.north + j] = my_px[j];
+        mine[mine_off.south + j] =
+            my_px[static_cast<std::size_t>(q - 1) * r + j];
       }
       for (std::uint32_t i = 0; i < q; ++i) {
-        mine[west + i] = my_px[static_cast<std::size_t>(i) * r];
-        mine[east + i] = my_px[static_cast<std::size_t>(i) * r + r - 1];
+        mine[mine_off.west + i] = my_px[static_cast<std::size_t>(i) * r];
+        mine[mine_off.east + i] =
+            my_px[static_cast<std::size_t>(i) * r + r - 1];
       }
       lines_.note_local_write(self);  // race-ledger epoch annotation
     }
-    self.barrier();  // publish lines
+    self.barrier();  // publish lines (uniform: empty tiles barrier too)
 
-    const std::uint32_t hr = halo_cols();
-    halo.assign(static_cast<std::size_t>(halo_rows()) * hr, T{});
+    const std::uint32_t hr = halo_cols(rank);
+    halo.assign(static_cast<std::size_t>(halo_rows(rank)) * hr, T{});
     auto halo_at = [&](std::uint32_t i, std::uint32_t j) -> std::size_t {
       return static_cast<std::size_t>(i) * hr + j;
     };
@@ -91,9 +111,15 @@ class HaloExchangerT {
     }
 
     // Facing lines from the four neighbours (plus diagonal corners).
-    std::vector<T> tmp(std::max(q, r));
+    // Offsets into a neighbour's packed lines use *its* geometry; a pull
+    // is skipped when either side is empty (an empty neighbour means the
+    // image ends there, so the zero ring is already correct).  Facing
+    // line lengths agree: a north/south neighbour shares my grid column
+    // (same r), an east/west neighbour my grid row (same q).
+    std::vector<T> tmp(std::max<std::size_t>(1, std::max(q, r)));
     auto pull = [&](std::uint32_t nbr, std::size_t src_off, std::size_t len,
                     std::uint32_t hi, std::uint32_t hj, bool row_dir) {
+      if (layout_.tile_size(nbr) == 0) return;
       lines_.prefetch(self, std::span<T>(tmp).subspan(0, len), nbr, src_off,
                       len);
       for (std::size_t s = 0; s < len; ++s) {
@@ -102,32 +128,49 @@ class HaloExchangerT {
             tmp[s];
       }
     };
-    if (gi > 0) pull(layout_.rank_at(gi - 1, gj), south, r, 0, 1, true);
-    if (gi + 1 < v) {
-      pull(layout_.rank_at(gi + 1, gj), north, r, q + 1, 1, true);
-    }
-    if (gj > 0) pull(layout_.rank_at(gi, gj - 1), east, q, 1, 0, false);
-    if (gj + 1 < w) {
-      pull(layout_.rank_at(gi, gj + 1), west, q, 1, r + 1, false);
-    }
-    if (gi > 0 && gj > 0) {
-      pull(layout_.rank_at(gi - 1, gj - 1), south + r - 1, 1, 0, 0, true);
-    }
-    if (gi > 0 && gj + 1 < w) {
-      pull(layout_.rank_at(gi - 1, gj + 1), south, 1, 0, r + 1, true);
-    }
-    if (gi + 1 < v && gj > 0) {
-      pull(layout_.rank_at(gi + 1, gj - 1), north + r - 1, 1, q + 1, 0, true);
-    }
-    if (gi + 1 < v && gj + 1 < w) {
-      pull(layout_.rank_at(gi + 1, gj + 1), north, 1, q + 1, r + 1, true);
+    if (q > 0 && r > 0) {
+      if (gi > 0) {
+        const std::uint32_t nbr = layout_.rank_at(gi - 1, gj);
+        pull(nbr, offsets_of(nbr).south, r, 0, 1, true);
+      }
+      if (gi + 1 < v) {
+        const std::uint32_t nbr = layout_.rank_at(gi + 1, gj);
+        pull(nbr, offsets_of(nbr).north, r, q + 1, 1, true);
+      }
+      if (gj > 0) {
+        const std::uint32_t nbr = layout_.rank_at(gi, gj - 1);
+        pull(nbr, offsets_of(nbr).east, q, 1, 0, false);
+      }
+      if (gj + 1 < w) {
+        const std::uint32_t nbr = layout_.rank_at(gi, gj + 1);
+        pull(nbr, offsets_of(nbr).west, q, 1, r + 1, false);
+      }
+      if (gi > 0 && gj > 0) {
+        const std::uint32_t nbr = layout_.rank_at(gi - 1, gj - 1);
+        const Offsets off = offsets_of(nbr);
+        pull(nbr, off.south + layout_.tile_cols(nbr) - 1, 1, 0, 0, true);
+      }
+      if (gi > 0 && gj + 1 < w) {
+        const std::uint32_t nbr = layout_.rank_at(gi - 1, gj + 1);
+        pull(nbr, offsets_of(nbr).south, 1, 0, r + 1, true);
+      }
+      if (gi + 1 < v && gj > 0) {
+        const std::uint32_t nbr = layout_.rank_at(gi + 1, gj - 1);
+        const Offsets off = offsets_of(nbr);
+        pull(nbr, off.north + layout_.tile_cols(nbr) - 1, 1, q + 1, 0, true);
+      }
+      if (gi + 1 < v && gj + 1 < w) {
+        const std::uint32_t nbr = layout_.rank_at(gi + 1, gj + 1);
+        pull(nbr, offsets_of(nbr).north, 1, q + 1, r + 1, true);
+      }
     }
     self.sync();
   }
 
  private:
   const TileLayout& layout_;
-  // Packed per-processor border lines: [north r][south r][west q][east q].
+  // Packed per-processor border lines, sized for the largest tile:
+  // [north r][south r][west q][east q] in each rank's own geometry.
   splitc::Spread<T> lines_;
 };
 

@@ -60,20 +60,21 @@ void parallel(splitc::Machine& machine, const img::TileLayout& layout,
               splitc::Spread<std::uint8_t>& tiles,
               splitc::Spread<std::uint8_t>& out, Structuring element) {
   HISTCC_REQUIRE(tiles.nprocs() == machine.nprocs() &&
-                     tiles.per_proc() >= layout.tile_size(),
+                     tiles.per_proc() >= layout.max_tile_size(),
                  "tiles spread does not match layout");
   HISTCC_REQUIRE(out.nprocs() == machine.nprocs() &&
-                     out.per_proc() >= layout.tile_size(),
+                     out.per_proc() >= layout.max_tile_size(),
                  "output spread does not match layout");
-  const std::uint32_t q = layout.tile_rows();
-  const std::uint32_t r = layout.tile_cols();
   const bool square = element == Structuring::kSquare;
   img::HaloExchanger halos(machine, layout);
 
   machine.run([&](splitc::Proc& self) {
+    const std::uint32_t rank = self.rank();
+    const std::uint32_t q = layout.tile_rows(rank);
+    const std::uint32_t r = layout.tile_cols(rank);
     std::vector<std::uint8_t> halo;
     halos.exchange(self, tiles, halo);
-    const std::size_t stride = halos.halo_cols();
+    const std::size_t stride = halos.halo_cols(rank);
     auto result = out.local(self);
     for (std::uint32_t i = 0; i < q; ++i) {
       for (std::uint32_t j = 0; j < r; ++j) {
@@ -81,9 +82,11 @@ void parallel(splitc::Machine& machine, const img::TileLayout& layout,
             halo.data(), stride, i + 1, j + 1, square);
       }
     }
-    out.note_local_write(self);  // race-ledger epoch annotation
+    if (q > 0 && r > 0) {
+      out.note_local_write(self);  // race-ledger epoch annotation
+    }
     self.charge_ops(static_cast<std::uint64_t>(square ? 9 : 5) *
-                    layout.tile_size());
+                    layout.tile_size(rank));
   });
 }
 

@@ -8,17 +8,24 @@
 /// threads are spawned once and parked between jobs, so consecutive jobs
 /// on a slot pay a condition-variable wakeup instead of p thread
 /// creations.  acquire(p) hands out an idle slot as a RAII lease,
-/// preferring a slot that already holds a machine of the requested size;
-/// only when the job mix shifts sizes does a slot rebuild its machine
-/// (machines_built() counts those, so tests and benchmarks can assert
-/// that a steady workload stops churning).  When every slot is busy,
-/// acquire blocks — the pool is the concurrency limiter; the bounded
-/// JobQueue in front of it is the memory limiter.
+/// preferring a slot that already holds a machine of the requested size.
+/// Each slot keeps a small cache of warm machines, one per distinct
+/// virtual-processor count, up to `machines_per_slot` entries with the
+/// least-recently-used machine evicted when a new size needs room — so
+/// under a mixed-width job mix a slot serves every recurring width
+/// without rebuilding (size-heterogeneous mode).  machines_per_slot == 1
+/// reproduces the original one-machine-per-slot behaviour exactly.
+/// machines_built() counts every construction, first builds and rebuilds
+/// alike, so tests and benchmarks can assert that a steady workload stops
+/// churning.  When every slot is busy, acquire blocks — the pool is the
+/// concurrency limiter; the bounded JobQueue in front of it is the memory
+/// limiter.
 
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "histcc/splitc/machine.hpp"
@@ -27,12 +34,15 @@ namespace histcc::serve {
 
 class MachinePool {
  public:
-  /// \param slots      concurrently leasable machines (>= 1).
-  /// \param max_procs  largest virtual-processor count a lease may ask
-  ///                   for (power of two).
+  /// \param slots             concurrently leasable machines (>= 1).
+  /// \param max_procs         largest virtual-processor count a lease may
+  ///                          ask for (power of two).
+  /// \param machines_per_slot warm machines each slot caches (>= 1), one
+  ///                          per distinct size, LRU-evicted.
   // NOLINTNEXTLINE(bugprone-easily-swappable-parameters): declaration-only;
-  // the definition checks the two independently (no joint expression).
-  MachinePool(std::uint32_t slots, std::uint32_t max_procs);
+  // the definition checks the three independently (no joint expression).
+  MachinePool(std::uint32_t slots, std::uint32_t max_procs,
+              std::uint32_t machines_per_slot = 1);
 
   MachinePool(const MachinePool&) = delete;
   MachinePool& operator=(const MachinePool&) = delete;
@@ -42,9 +52,9 @@ class MachinePool {
   class Lease {
    public:
     Lease(Lease&& other) noexcept
-        : pool_(other.pool_), slot_(other.slot_), machine_(other.machine_) {
-      other.pool_ = nullptr;
-    }
+        : pool_(std::exchange(other.pool_, nullptr)),
+          slot_(std::exchange(other.slot_, 0)),
+          machine_(std::exchange(other.machine_, nullptr)) {}
     Lease& operator=(Lease&&) = delete;
     Lease(const Lease&) = delete;
     Lease& operator=(const Lease&) = delete;
@@ -54,7 +64,8 @@ class MachinePool {
       return *machine_;
     }
 
-    /// Give the slot back early (idempotent; the destructor also does).
+    /// Give the slot back early (idempotent; the destructor also does —
+    /// and a moved-from lease is fully inert: no pool, slot, or machine).
     void release() noexcept;
 
    private:
@@ -76,6 +87,9 @@ class MachinePool {
     return static_cast<std::uint32_t>(slots_.size());
   }
   [[nodiscard]] std::uint32_t max_procs() const noexcept { return max_procs_; }
+  [[nodiscard]] std::uint32_t machines_per_slot() const noexcept {
+    return machines_per_slot_;
+  }
 
   /// Machines constructed so far, first builds and rebuilds alike.  A
   /// steady workload converges: once every slot holds the sizes the mix
@@ -86,8 +100,13 @@ class MachinePool {
   [[nodiscard]] std::uint32_t idle() const;
 
  private:
-  struct Slot {
+  /// One cached warm machine and its LRU stamp.
+  struct Entry {
     std::unique_ptr<splitc::Machine> machine;
+    std::uint64_t last_used = 0;
+  };
+  struct Slot {
+    std::vector<Entry> cache;  ///< distinct sizes, <= machines_per_slot_
     bool busy = false;
   };
 
@@ -97,7 +116,9 @@ class MachinePool {
   std::condition_variable slot_free_;
   std::vector<Slot> slots_;
   std::uint32_t max_procs_;
+  std::uint32_t machines_per_slot_;
   std::uint64_t built_ = 0;
+  std::uint64_t tick_ = 0;  ///< LRU clock, bumped per acquire
 };
 
 }  // namespace histcc::serve

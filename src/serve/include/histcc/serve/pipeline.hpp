@@ -17,11 +17,12 @@
 ///
 /// Routing picks the virtual-processor count from the image size — the
 /// paper's n^2/p tradeoff: each processor should get about grain_pixels
-/// of tile, capped at max_procs, and images at or below sequential_pixels
-/// (or whose shape the tile layout cannot host) skip the machine entirely
-/// and run the sequential reference path.  Related CCL work (Gupta et
-/// al.; Chen et al.) makes the same point: the right algorithm/width is a
-/// per-workload choice, so the serving layer makes it per job.
+/// of tile, capped at max_procs.  The ragged tile layout (docs/layout.md)
+/// hosts any H x W shape, so only images at or below sequential_pixels
+/// skip the machine and run the sequential reference path.  Related CCL
+/// work (Gupta et al.; Chen et al.) makes the same point: the right
+/// algorithm/width is a per-workload choice, so the serving layer makes
+/// it per job.
 ///
 /// Robustness: a failed parallel run (including a race-ledger violation
 /// in instrumented builds) degrades to the sequential path and reports
@@ -57,6 +58,11 @@ struct PipelineOptions {
   std::uint32_t grain_pixels = 64 * 64;
   /// Images with at most this many pixels run the sequential path.
   std::uint32_t sequential_pixels = 64 * 64;
+  /// Warm machines cached per pool slot (one per distinct processor
+  /// count, LRU-evicted).  0 = auto: enough for every power-of-two width
+  /// up to max_procs, so a mixed-width job mix stops rebuilding once each
+  /// width has been seen.  1 = the original one-machine-per-slot mode.
+  std::uint32_t machines_per_slot = 0;
   /// Test/instrumentation hook: when set, called on the pool worker
   /// immediately before every parallel execution.  Throwing from it
   /// exercises the degradation path; sleeping in it exercises deadlines.
@@ -65,8 +71,9 @@ struct PipelineOptions {
 
 /// The virtual-processor count routing gives an image of this shape under
 /// `options` (1 = sequential path): the largest power of two p with
-/// p <= max_procs and pixels/p >= grain_pixels whose tile layout divides
-/// the image, or 1 for small or layout-incompatible (non-square) images.
+/// p <= max_procs and pixels/p >= grain_pixels, or 1 for images at or
+/// below sequential_pixels.  Any H x W shape is machine-eligible — the
+/// ragged tile layout imposes no squareness or divisibility constraint.
 [[nodiscard]] std::uint32_t choose_procs(std::uint32_t height,
                                          std::uint32_t width,
                                          const PipelineOptions& options);

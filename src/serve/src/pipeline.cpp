@@ -26,8 +26,9 @@ double seconds_between(Clock::time_point from, Clock::time_point to) {
 img::GreyImage equalize_parallel_image(splitc::Machine& machine,
                                        const img::GreyImage& image,
                                        std::uint32_t k) {
-  const img::TileLayout layout(image.height(), machine.nprocs());
-  splitc::Spread<std::uint8_t> tiles(machine, layout.tile_size(),
+  const img::TileLayout layout(image.height(), image.width(),
+                               machine.nprocs());
+  splitc::Spread<std::uint8_t> tiles(machine, layout.max_tile_size(),
                                      "serve_eq_tiles");
   layout.scatter(image, tiles);
   hist::equalize_parallel(machine, layout, tiles, k);
@@ -39,11 +40,12 @@ img::GreyImage equalize_parallel_image(splitc::Machine& machine,
 std::vector<ccseq::ComponentStats> stats_parallel_image(
     splitc::Machine& machine, const img::GreyImage& image,
     const cc::CcOptions& options) {
-  const img::TileLayout layout(image.height(), machine.nprocs());
-  splitc::Spread<std::uint8_t> tiles(machine, layout.tile_size(),
+  const img::TileLayout layout(image.height(), image.width(),
+                               machine.nprocs());
+  splitc::Spread<std::uint8_t> tiles(machine, layout.max_tile_size(),
                                      "serve_stats_tiles");
   layout.scatter(image, tiles);
-  splitc::Spread<std::uint32_t> labels(machine, layout.tile_size(),
+  splitc::Spread<std::uint32_t> labels(machine, layout.max_tile_size(),
                                        "serve_stats_labels");
   cc::connected_components_parallel(machine, layout, tiles, labels, options);
   return cc::component_stats_parallel(machine, layout, tiles, labels);
@@ -53,23 +55,15 @@ std::vector<ccseq::ComponentStats> stats_parallel_image(
 
 std::uint32_t choose_procs(std::uint32_t height, std::uint32_t width,
                            const PipelineOptions& options) {
-  // The splitc tile layout (Section 3) hosts square images only; anything
-  // else is served by the sequential reference path.
-  if (height == 0 || width == 0 || height != width) return 1;
+  // The ragged tile layout hosts any H x W shape, so routing is by pixel
+  // count alone: only tiny images take the sequential reference path.
   const std::uint64_t pixels = static_cast<std::uint64_t>(height) * width;
   if (pixels <= options.sequential_pixels) return 1;
   const std::uint64_t grain = std::max<std::uint32_t>(1, options.grain_pixels);
   const std::uint64_t target =
       std::min<std::uint64_t>(pixels / grain, options.max_procs);
-  auto p = static_cast<std::uint32_t>(std::bit_floor(target));
-  if (p == 0) return 1;
-  // Shrink until the v x w grid divides the image side (p=1 always does).
-  while (p > 1) {
-    const util::GridShape grid = util::grid_shape(p);
-    if (height % grid.rows == 0 && width % grid.cols == 0) break;
-    p >>= 1;
-  }
-  return p;
+  const auto p = static_cast<std::uint32_t>(std::bit_floor(target));
+  return p == 0 ? 1 : p;
 }
 
 /// A type-erased job as it sits in the bounded queue.  The closures share
@@ -89,9 +83,20 @@ struct Pipeline::QueuedJob {
       finish;  ///< (status, error, procs_used, queue_s, run_s)
 };
 
+namespace {
+
+/// 0 = auto: one cached machine per power-of-two width in [1, max_procs].
+std::uint32_t resolve_machines_per_slot(const PipelineOptions& options) {
+  if (options.machines_per_slot > 0) return options.machines_per_slot;
+  return util::log2_floor(std::max(1u, options.max_procs)) + 1;
+}
+
+}  // namespace
+
 Pipeline::Pipeline(PipelineOptions options)
     : options_(std::move(options)),
-      pool_(options_.pool_size, options_.max_procs),
+      pool_(options_.pool_size, options_.max_procs,
+            resolve_machines_per_slot(options_)),
       queue_(std::make_unique<JobQueue<QueuedJob>>(options_.queue_capacity)) {
   workers_.reserve(options_.pool_size);
   for (std::uint32_t i = 0; i < options_.pool_size; ++i) {

@@ -1,0 +1,93 @@
+// spmdlint corpus: R1 on ragged-geometry idioms.  The ragged tile layout
+// makes per-rank loop bounds (`layout.tile_rows(rank)`) the *normal* SPMD
+// shape: every rank crosses the same barrier sequence even though each
+// runs a different trip count.  A `continue`/`break` inside such a loop
+// lands at the end of the loop, so only a barrier INSIDE the loop body is
+// divergence — one after the loop is not.  Same for a `return` inside an
+// inline lambda: it leaves the lambda, not the SPMD body.  Expected
+// findings live in expected.txt (exact lines).
+
+#include <cstddef>
+#include <cstdint>
+
+namespace corpus {
+
+struct Proc {
+  std::uint32_t rank() const;
+  std::uint32_t nprocs() const;
+  void barrier();
+  void sync();
+};
+
+struct Layout {
+  std::uint32_t tile_rows(std::uint32_t rank) const;
+  std::uint32_t tile_cols(std::uint32_t rank) const;
+  std::uint32_t rows_in(std::uint32_t grid_row) const;
+};
+
+// --- violations ------------------------------------------------------------
+
+void barrier_inside_ragged_loop(Proc& self, const Layout& layout) {
+  const std::uint32_t q = layout.tile_rows(self.rank());
+  for (std::uint32_t i = 0; i < q; ++i) {
+    self.barrier();  // VIOLATION: trip count differs per rank
+  }
+}
+
+void continue_skips_barrier_inside_loop(Proc& self, const Layout& layout) {
+  const std::uint32_t q = layout.tile_rows(self.rank());
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    if (i >= q) {
+      continue;  // VIOLATION: skips the in-loop barrier on some ranks
+    }
+    self.barrier();
+  }
+}
+
+// --- near-misses (must NOT fire) -------------------------------------------
+
+void ragged_loop_then_barrier(Proc& self, const Layout& layout) {
+  const std::uint32_t rank = self.rank();
+  const std::uint32_t q = layout.tile_rows(rank);
+  const std::uint32_t r = layout.tile_cols(rank);
+  std::uint32_t sum = 0;
+  for (std::uint32_t i = 0; i < q; ++i) {
+    for (std::uint32_t j = 0; j < r; ++j) {
+      if (sum == 0) {
+        continue;  // lands at the end of the loop; the barrier below is
+      }            // still crossed by every rank
+      sum += i * r + j;
+    }
+  }
+  self.barrier();  // uniform: all ranks arrive whatever their q, r
+}
+
+void break_out_of_ragged_loop(Proc& self, const Layout& layout) {
+  const std::uint32_t q = layout.tile_rows(self.rank());
+  std::uint32_t found = 0;
+  for (std::uint32_t i = 0; i < q; ++i) {
+    if (i == 3) {
+      found = i;
+      break;  // leaves the loop only; the barrier below is uniform
+    }
+  }
+  self.barrier();
+  (void)found;
+}
+
+void lambda_return_under_taint(Proc& self, const Layout& layout) {
+  const std::uint32_t rank = self.rank();
+  const bool nonempty = layout.tile_rows(rank) > 0;
+  auto strip_words = [&](std::uint32_t idx) -> std::size_t {
+    if (!nonempty) {
+      return 0;  // leaves the lambda, not the SPMD body below
+    }
+    return layout.rows_in(idx);
+  };
+  std::size_t total = 0;
+  for (std::uint32_t idx = 0; idx < 4; ++idx) total += strip_words(idx);
+  self.barrier();  // uniform: the guarded return above cannot skip this
+  (void)total;
+}
+
+}  // namespace corpus

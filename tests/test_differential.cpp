@@ -11,9 +11,9 @@
 // Thread/processor sweep: the splitc machine models the paper and
 // requires a power-of-two p, so it runs at p in {1, 4, 16}; the OpenMP
 // mirror takes any team size and covers the non-power-of-two counts
-// {3, 7} (plus 1, 4, 16).  Non-power-of-two *grids* come from the image
-// sides: 96 = 2^5 * 3 tiles over every machine grid, and the comb image
-// is 97 x 63 (both odd) for the shared-memory implementations.
+// {3, 7} (plus 1, 4, 16).  Awkward shapes come from the image sides:
+// 96 = 2^5 * 3 and the 97 x 63 comb (both sides odd and prime-ish) —
+// the ragged tile layout hosts every one of them on every machine size.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -84,28 +84,23 @@ struct CcCase {
   im::GreyImage image;
   ccseq::Connectivity conn;
   ccseq::ColourRule rule;
-  bool square_pow2_friendly;  ///< side divides every splitc machine grid
 };
 
 std::vector<CcCase> cc_cases() {
   std::vector<CcCase> cases;
   cases.push_back({"random_percolation", im::make_percolation(96, 0.55, 42),
-                   ccseq::Connectivity::kEight, ccseq::ColourRule::kBinary,
-                   true});
+                   ccseq::Connectivity::kEight, ccseq::ColourRule::kBinary});
   cases.push_back({"random_percolation_4conn",
                    im::make_percolation(96, 0.62, 7),
-                   ccseq::Connectivity::kFour, ccseq::ColourRule::kBinary,
-                   true});
+                   ccseq::Connectivity::kFour, ccseq::ColourRule::kBinary});
   cases.push_back({"darpa_like_grey", im::make_darpa_like(96),
                    ccseq::Connectivity::kEight,
-                   ccseq::ColourRule::kSameColour, true});
+                   ccseq::ColourRule::kSameColour});
   cases.push_back({"dual_spiral",
                    im::make_test_pattern(im::TestPattern::kDualSpiral, 96),
-                   ccseq::Connectivity::kEight, ccseq::ColourRule::kBinary,
-                   true});
+                   ccseq::Connectivity::kEight, ccseq::ColourRule::kBinary});
   cases.push_back({"comb_97x63", make_comb(97, 63),
-                   ccseq::Connectivity::kEight, ccseq::ColourRule::kBinary,
-                   false});
+                   ccseq::Connectivity::kEight, ccseq::ColourRule::kBinary});
   return cases;
 }
 
@@ -138,21 +133,19 @@ TEST_P(DifferentialCc, AllImplementationsAgree) {
   }
 
   // The paper's algorithm and the replicated baseline on the virtual
-  // machine (power-of-two p; the image side must tile the machine grid).
-  if (test.square_pow2_friendly) {
-    for (const std::uint32_t p : kSplitcProcs) {
-      sc::Machine machine(p);
-      cc::CcOptions options;
-      options.connectivity = test.conn;
-      options.rule = test.rule;
-      expect_labels_equal(
-          cc::connected_components_parallel(machine, test.image, options),
-          reference, test.name + "/parallel_p" + std::to_string(p));
-      expect_labels_equal(
-          cc::connected_components_replicated(machine, test.image, test.conn,
-                                              test.rule),
-          reference, test.name + "/replicated_p" + std::to_string(p));
-    }
+  // machine (power-of-two p; the ragged layout hosts every image shape).
+  for (const std::uint32_t p : kSplitcProcs) {
+    sc::Machine machine(p);
+    cc::CcOptions options;
+    options.connectivity = test.conn;
+    options.rule = test.rule;
+    expect_labels_equal(
+        cc::connected_components_parallel(machine, test.image, options),
+        reference, test.name + "/parallel_p" + std::to_string(p));
+    expect_labels_equal(
+        cc::connected_components_replicated(machine, test.image, test.conn,
+                                            test.rule),
+        reference, test.name + "/replicated_p" + std::to_string(p));
   }
 }
 
@@ -216,9 +209,6 @@ INSTANTIATE_TEST_SUITE_P(Catalog, DifferentialHist,
 
 TEST_P(DifferentialCc, PipelineAgreesWithDirectCalls) {
   const auto test = cc_cases()[GetParam()];
-  if (!test.square_pow2_friendly) {
-    GTEST_SKIP() << "image does not tile the splitc machine grids";
-  }
   const auto reference =
       ccseq::label_components_bfs(test.image, test.conn, test.rule);
   histcc::serve::Pipeline pipeline;

@@ -29,7 +29,7 @@ TEST_P(EqualizeParallelSweep, MatchesSequentialEqualize) {
 
   sc::Machine machine(p);
   const im::TileLayout layout(n, p);
-  sc::Spread<std::uint8_t> tiles(machine, layout.tile_size());
+  sc::Spread<std::uint8_t> tiles(machine, layout.max_tile_size());
   layout.scatter(image, tiles);
   hh::equalize_parallel(machine, layout, tiles, k);
   EXPECT_EQ(layout.gather(tiles), expected);
@@ -47,7 +47,7 @@ TEST(EqualizeParallelTest, LowContrastInputGainsRange) {
   }
   sc::Machine machine(p);
   const im::TileLayout layout(n, p);
-  sc::Spread<std::uint8_t> tiles(machine, layout.tile_size());
+  sc::Spread<std::uint8_t> tiles(machine, layout.max_tile_size());
   layout.scatter(image, tiles);
   hh::equalize_parallel(machine, layout, tiles, k);
   const auto out = layout.gather(tiles);
@@ -63,7 +63,7 @@ TEST(EqualizeParallelTest, LowContrastInputGainsRange) {
 TEST(EqualizeParallelTest, RequiresPDividesK) {
   sc::Machine machine(32);
   const im::TileLayout layout(64, 32);
-  sc::Spread<std::uint8_t> tiles(machine, layout.tile_size());
+  sc::Spread<std::uint8_t> tiles(machine, layout.max_tile_size());
   EXPECT_THROW(hh::equalize_parallel(machine, layout, tiles, 16),
                histcc::util::contract_error);
 }

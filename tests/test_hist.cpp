@@ -83,7 +83,7 @@ TEST(HistParallelTest, WorksOnPredistributedTiles) {
   const auto image = im::make_random_grey(n, k, 77);
   sc::Machine machine(p);
   const im::TileLayout layout(n, p);
-  sc::Spread<std::uint8_t> tiles(machine, layout.tile_size());
+  sc::Spread<std::uint8_t> tiles(machine, layout.max_tile_size());
   layout.scatter(image, tiles);
   const auto counts = hh::histogram_parallel(machine, layout, tiles, k);
   EXPECT_EQ(counts, hh::histogram_seq(image, k));

@@ -40,9 +40,54 @@ TEST(LayoutTest, PaperGeometry) {
   const im::TileLayout layout(512, 32);
   EXPECT_EQ(layout.grid_rows(), 4u);
   EXPECT_EQ(layout.grid_cols(), 8u);
-  EXPECT_EQ(layout.tile_rows(), 128u);
-  EXPECT_EQ(layout.tile_cols(), 64u);
-  EXPECT_EQ(layout.tile_size(), 128u * 64u);
+  EXPECT_EQ(layout.max_tile_rows(), 128u);
+  EXPECT_EQ(layout.max_tile_cols(), 64u);
+  EXPECT_EQ(layout.max_tile_size(), 128u * 64u);
+  // Divisible shape: every rank's tile is full-size.
+  for (std::uint32_t rank = 0; rank < 32; ++rank) {
+    EXPECT_EQ(layout.tile_rows(rank), 128u);
+    EXPECT_EQ(layout.tile_cols(rank), 64u);
+  }
+  EXPECT_EQ(layout.height(), 512u);
+  EXPECT_EQ(layout.width(), 512u);
+  EXPECT_EQ(layout.pixels(), 512ull * 512);
+}
+
+TEST(LayoutTest, RaggedCeilPartition) {
+  // 100 x 100 on p = 32 (4 x 8 grid): qmax = 25, rmax = ceil(100/8) = 13;
+  // the last grid column gets the 9-wide remainder.
+  const im::TileLayout layout(100, 32);
+  EXPECT_EQ(layout.max_tile_rows(), 25u);
+  EXPECT_EQ(layout.max_tile_cols(), 13u);
+  for (std::uint32_t gr = 0; gr < 4; ++gr) EXPECT_EQ(layout.rows_in(gr), 25u);
+  for (std::uint32_t gc = 0; gc < 7; ++gc) EXPECT_EQ(layout.cols_in(gc), 13u);
+  EXPECT_EQ(layout.cols_in(7), 100u - 7u * 13u);  // 9
+  // Rank 0 owns the largest tile.
+  EXPECT_EQ(layout.tile_size(0), layout.max_tile_size());
+  // Per-rank sizes cover the image exactly.
+  std::uint64_t covered = 0;
+  for (std::uint32_t rank = 0; rank < 32; ++rank) {
+    covered += layout.tile_size(rank);
+  }
+  EXPECT_EQ(covered, layout.pixels());
+}
+
+TEST(LayoutTest, EmptyTrailingTiles) {
+  // 1000 x 3 on p = 16 (4 x 4 grid): rmax = 1, grid column 3 is empty.
+  const im::TileLayout layout(1000, 3, 16);
+  EXPECT_EQ(layout.max_tile_rows(), 250u);
+  EXPECT_EQ(layout.max_tile_cols(), 1u);
+  EXPECT_EQ(layout.cols_in(3), 0u);
+  EXPECT_EQ(layout.tile_size(layout.rank_at(0, 3)), 0u);
+  EXPECT_GT(layout.tile_size(0), 0u);
+  // 1 x 1 on p = 16: only rank 0 owns the pixel.
+  const im::TileLayout tiny(1, 1, 16);
+  EXPECT_EQ(tiny.tile_size(0), 1u);
+  std::uint64_t covered = 0;
+  for (std::uint32_t rank = 0; rank < 16; ++rank) {
+    covered += tiny.tile_size(rank);
+  }
+  EXPECT_EQ(covered, 1u);
 }
 
 TEST(LayoutTest, RowMajorProcessorAssignment) {
@@ -71,9 +116,13 @@ TEST(LayoutTest, InitialLabelFormula) {
 }
 
 TEST(LayoutTest, RejectsBadShapes) {
-  EXPECT_THROW(im::TileLayout(100, 32), histcc::util::contract_error);  // 8∤100
+  // Non-divisible and non-square shapes are fine now; only a non-power-of-
+  // two processor count or an empty image is rejected.
+  EXPECT_NO_THROW(im::TileLayout(100, 32));
+  EXPECT_NO_THROW(im::TileLayout(97, 63, 4));
   EXPECT_THROW(im::TileLayout(512, 31), histcc::util::contract_error);
   EXPECT_THROW(im::TileLayout(0, 4), histcc::util::contract_error);
+  EXPECT_THROW(im::TileLayout(512, 0, 4), histcc::util::contract_error);
 }
 
 class ScatterGatherTest : public ::testing::TestWithParam<std::uint32_t> {};
@@ -84,13 +133,40 @@ TEST_P(ScatterGatherTest, RoundTripsExactly) {
   sc::Machine machine(p);
   const im::TileLayout layout(n, p);
   auto image = im::make_darpa_like(n, 5);
-  sc::Spread<std::uint8_t> tiles(machine, layout.tile_size());
+  sc::Spread<std::uint8_t> tiles(machine, layout.max_tile_size());
   layout.scatter(image, tiles);
   EXPECT_EQ(layout.gather(tiles), image);
 }
 
 INSTANTIATE_TEST_SUITE_P(Procs, ScatterGatherTest,
                          ::testing::Values(1, 2, 4, 8, 16, 32));
+
+class RaggedScatterGatherTest
+    : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(RaggedScatterGatherTest, RoundTripsNonSquareShapes) {
+  const std::uint32_t p = GetParam();
+  sc::Machine machine(p);
+  const std::pair<std::uint32_t, std::uint32_t> shapes[] = {
+      {1, 1}, {7, 513}, {640, 480}, {1000, 3}, {97, 63}};
+  for (const auto& [h, w] : shapes) {
+    const im::TileLayout layout(h, w, p);
+    im::GreyImage image(h, w);
+    std::uint32_t seed = 1;
+    for (std::uint32_t i = 0; i < h; ++i) {
+      for (std::uint32_t j = 0; j < w; ++j) {
+        seed = seed * 1664525u + 1013904223u;
+        image(i, j) = static_cast<std::uint8_t>(seed >> 24);
+      }
+    }
+    sc::Spread<std::uint8_t> tiles(machine, layout.max_tile_size());
+    layout.scatter(image, tiles);
+    EXPECT_EQ(layout.gather(tiles), image) << h << "x" << w << " p=" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, RaggedScatterGatherTest,
+                         ::testing::Values(1, 4, 16));
 
 TEST(ScatterTest, TilePixelsRowMajor) {
   const std::uint32_t n = 8;
@@ -102,7 +178,7 @@ TEST(ScatterTest, TilePixelsRowMajor) {
       image(i, j) = static_cast<std::uint8_t>(i * n + j);
     }
   }
-  sc::Spread<std::uint8_t> tiles(machine, layout.tile_size());
+  sc::Spread<std::uint8_t> tiles(machine, layout.max_tile_size());
   layout.scatter(image, tiles);
   // Processor 3 owns rows 4..7, cols 4..7.
   auto block = tiles.block(3);

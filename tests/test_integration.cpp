@@ -32,7 +32,7 @@ TEST(IntegrationTest, DarpaScenePipeline) {
   const auto scene = img::make_darpa_like(n, 42);
   splitc::Machine machine(p);
   const img::TileLayout layout(n, p);
-  splitc::Spread<std::uint8_t> tiles(machine, layout.tile_size());
+  splitc::Spread<std::uint8_t> tiles(machine, layout.max_tile_size());
   layout.scatter(scene, tiles);
 
   const auto counts = hist::histogram_parallel(machine, layout, tiles, 256);

@@ -120,8 +120,8 @@ TEST_P(MorphParallelSweep, MatchesSequential) {
 
   sc::Machine machine(p);
   const im::TileLayout layout(64, p);
-  sc::Spread<std::uint8_t> tiles(machine, layout.tile_size());
-  sc::Spread<std::uint8_t> out(machine, layout.tile_size());
+  sc::Spread<std::uint8_t> tiles(machine, layout.max_tile_size());
+  sc::Spread<std::uint8_t> out(machine, layout.max_tile_size());
   layout.scatter(image, tiles);
 
   mo::erode_parallel(machine, layout, tiles, out, element);
@@ -144,8 +144,8 @@ TEST(MorphParallelTest, PatternsAcrossTileBoundaries) {
     const auto image = im::make_test_pattern(id, 64);
     sc::Machine machine(16);
     const im::TileLayout layout(64, 16);
-    sc::Spread<std::uint8_t> tiles(machine, layout.tile_size());
-    sc::Spread<std::uint8_t> out(machine, layout.tile_size());
+    sc::Spread<std::uint8_t> tiles(machine, layout.max_tile_size());
+    sc::Spread<std::uint8_t> out(machine, layout.max_tile_size());
     layout.scatter(image, tiles);
     mo::erode_parallel(machine, layout, tiles, out);
     EXPECT_EQ(layout.gather(out), mo::erode(image))
@@ -159,14 +159,14 @@ TEST(MorphParallelTest, HaloCommCostIsOneExchange)
   const auto image = binarize(im::make_percolation(n, 0.5, 1));
   sc::Machine machine(p);
   const im::TileLayout layout(n, p);
-  sc::Spread<std::uint8_t> tiles(machine, layout.tile_size());
-  sc::Spread<std::uint8_t> out(machine, layout.tile_size());
+  sc::Spread<std::uint8_t> tiles(machine, layout.max_tile_size());
+  sc::Spread<std::uint8_t> out(machine, layout.max_tile_size());
   layout.scatter(image, tiles);
   mo::erode_parallel(machine, layout, tiles, out);
   // An interior processor pulls 2(q + r) + 4 words in one batch.
   const auto stats = machine.max_stats();
   EXPECT_LE(stats.words,
-            2ull * (layout.tile_rows() + layout.tile_cols()) + 4);
+            2ull * (layout.max_tile_rows() + layout.max_tile_cols()) + 4);
   EXPECT_EQ(stats.batches, 1u);
 }
 
@@ -180,7 +180,7 @@ TEST(HaloExchangerTest, RingContentsAreExact) {
   }
   sc::Machine machine(p);
   const im::TileLayout layout(n, p);
-  sc::Spread<std::uint8_t> tiles(machine, layout.tile_size());
+  sc::Spread<std::uint8_t> tiles(machine, layout.max_tile_size());
   layout.scatter(image, tiles);
   im::HaloExchanger halos(machine, layout);
 

@@ -108,8 +108,8 @@ TEST(RegionGraphParallelTest, DistributedPipeline) {
   const auto image = im::make_darpa_like(n, 5);
   sc::Machine machine(p);
   const im::TileLayout layout(n, p);
-  sc::Spread<std::uint8_t> tiles(machine, layout.tile_size());
-  sc::Spread<std::uint32_t> labels(machine, layout.tile_size());
+  sc::Spread<std::uint8_t> tiles(machine, layout.max_tile_size());
+  sc::Spread<std::uint32_t> labels(machine, layout.max_tile_size());
   layout.scatter(image, tiles);
   cc::CcOptions options;
   options.rule = cs::ColourRule::kSameColour;

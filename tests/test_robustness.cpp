@@ -175,8 +175,8 @@ TEST(LayoutSweepTest, LabelsUniqueAndCoverEveryPixel) {
     const img::TileLayout layout(n, p);
     std::set<std::uint32_t> seen;
     for (std::uint32_t rank = 0; rank < p; ++rank) {
-      for (std::uint32_t i = 0; i < layout.tile_rows(); ++i) {
-        for (std::uint32_t j = 0; j < layout.tile_cols(); ++j) {
+      for (std::uint32_t i = 0; i < layout.tile_rows(rank); ++i) {
+        for (std::uint32_t j = 0; j < layout.tile_cols(rank); ++j) {
           const auto label = layout.initial_label(rank, i, j);
           EXPECT_TRUE(seen.insert(label).second)
               << "duplicate label at p=" << p;
@@ -186,6 +186,30 @@ TEST(LayoutSweepTest, LabelsUniqueAndCoverEveryPixel) {
       }
     }
     EXPECT_EQ(seen.size(), static_cast<std::size_t>(n) * n) << "p=" << p;
+  }
+}
+
+TEST(LayoutSweepTest, RaggedLabelsUniqueAndCoverEveryPixel) {
+  const std::pair<std::uint32_t, std::uint32_t> shapes[] = {
+      {1, 1}, {7, 513}, {100, 32}, {1000, 3}, {97, 63}};
+  for (const std::uint32_t p : {1u, 4u, 16u, 64u}) {
+    for (const auto& [h, w] : shapes) {
+      const img::TileLayout layout(h, w, p);
+      std::set<std::uint32_t> seen;
+      for (std::uint32_t rank = 0; rank < p; ++rank) {
+        for (std::uint32_t i = 0; i < layout.tile_rows(rank); ++i) {
+          for (std::uint32_t j = 0; j < layout.tile_cols(rank); ++j) {
+            const auto label = layout.initial_label(rank, i, j);
+            EXPECT_TRUE(seen.insert(label).second)
+                << "duplicate label at " << h << "x" << w << " p=" << p;
+            EXPECT_GE(label, 1u);
+            EXPECT_LE(label, h * w);
+          }
+        }
+      }
+      EXPECT_EQ(seen.size(), static_cast<std::size_t>(h) * w)
+          << h << "x" << w << " p=" << p;
+    }
   }
 }
 

@@ -14,6 +14,7 @@
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "histcc/cc_seq/analysis.hpp"
@@ -236,6 +237,77 @@ TEST(MachinePoolTest, RejectsInvalidWidths) {
   EXPECT_ANY_THROW({ auto lease = pool.acquire(0); });
 }
 
+TEST(MachinePoolTest, MovedFromLeaseIsInert) {
+  sv::MachinePool pool(1, 8);
+  {
+    auto lease = pool.acquire(4);
+    auto moved = std::move(lease);
+    // The moved-from lease must not hold the slot: releasing it (or
+    // letting it die) is a no-op, and the slot frees exactly once when
+    // `moved` goes away.
+    lease.release();  // NOLINT(bugprone-use-after-move): inertness test
+    EXPECT_EQ(pool.idle(), 0u);  // `moved` still owns the slot
+    EXPECT_EQ(moved.machine().nprocs(), 4u);
+  }
+  EXPECT_EQ(pool.idle(), 1u);
+}
+
+TEST(MachinePoolTest, DoubleReleaseIsIdempotent) {
+  sv::MachinePool pool(1, 8);
+  auto lease = pool.acquire(2);
+  lease.release();
+  EXPECT_EQ(pool.idle(), 1u);
+  lease.release();  // second release: no double-free, no idle over-count
+  EXPECT_EQ(pool.idle(), 1u);
+  // The slot is genuinely reusable afterwards.
+  { auto again = pool.acquire(2); }
+  EXPECT_EQ(pool.machines_built(), 1u);
+}
+
+TEST(MachinePoolTest, HeterogeneousSlotKeepsMixedSizesWarm) {
+  // machines_per_slot = 3: one slot can keep a 2-, 4-, and 8-wide machine
+  // warm at once, so a mixed job mix stops rebuilding after warmup.
+  sv::MachinePool pool(1, 8, 3);
+  EXPECT_EQ(pool.machines_per_slot(), 3u);
+  for (int round = 0; round < 4; ++round) {
+    { auto lease = pool.acquire(2); }
+    { auto lease = pool.acquire(4); }
+    { auto lease = pool.acquire(8); }
+  }
+  EXPECT_EQ(pool.machines_built(), 3u);  // one build per width, ever
+}
+
+TEST(MachinePoolTest, HeterogeneousSlotEvictsLeastRecentlyUsed) {
+  sv::MachinePool pool(1, 8, 2);
+  { auto lease = pool.acquire(2); }
+  { auto lease = pool.acquire(4); }
+  EXPECT_EQ(pool.machines_built(), 2u);
+  // Capacity 2 is full; an 8-wide request evicts the LRU entry (the
+  // 2-wide machine).
+  { auto lease = pool.acquire(8); }
+  EXPECT_EQ(pool.machines_built(), 3u);
+  { auto lease = pool.acquire(4); }  // still warm
+  EXPECT_EQ(pool.machines_built(), 3u);
+  { auto lease = pool.acquire(2); }  // was evicted: rebuild
+  EXPECT_EQ(pool.machines_built(), 4u);
+}
+
+TEST(MachinePoolTest, HeterogeneousLeasedMachineRunsPrograms) {
+  sv::MachinePool pool(2, 8, 2);
+  auto a = pool.acquire(4);
+  auto b = pool.acquire(8);
+  std::atomic<int> count{0};
+  a.machine().run([&](histcc::splitc::Proc& self) {
+    self.barrier();
+    count++;
+  });
+  b.machine().run([&](histcc::splitc::Proc& self) {
+    self.barrier();
+    count++;
+  });
+  EXPECT_EQ(count.load(), 12);
+}
+
 // ---------------------------------------------------------------------------
 // Routing (choose_procs): the paper's n^2/p tradeoff as an admission rule.
 
@@ -246,10 +318,13 @@ TEST(RoutingTest, SmallImagesRunSequentially) {
   EXPECT_EQ(sv::choose_procs(0, 0, opt), 1u);
 }
 
-TEST(RoutingTest, NonSquareImagesRunSequentially) {
+TEST(RoutingTest, NonSquareImagesRouteByArea) {
+  // The ragged layout hosts any rectangle, so routing is pixel-count only.
   const sv::PipelineOptions opt;
-  EXPECT_EQ(sv::choose_procs(96, 64, opt), 1u);
-  EXPECT_EQ(sv::choose_procs(512, 256, opt), 1u);
+  EXPECT_EQ(sv::choose_procs(96, 64, opt), 1u);     // 6144 px / 4096 grain
+  EXPECT_EQ(sv::choose_procs(512, 256, opt), 16u);  // capped at max_procs
+  EXPECT_EQ(sv::choose_procs(640, 480, opt), 16u);
+  EXPECT_EQ(sv::choose_procs(1000, 3, opt), 1u);  // 3000 px: sequential
 }
 
 TEST(RoutingTest, ProcsGrowWithImageArea) {
@@ -266,11 +341,11 @@ TEST(RoutingTest, CappedAtMaxProcs) {
   EXPECT_EQ(sv::choose_procs(512, 512, opt), 4u);
 }
 
-TEST(RoutingTest, ShrinksUntilGridDividesImage) {
+TEST(RoutingTest, PrimeDimensionsNoLongerForceSequential) {
   const sv::PipelineOptions opt;
-  // 97x97 clears the grain threshold at p=2, but a 1x2 grid does not
-  // divide 97 columns; no smaller parallel width exists, so sequential.
-  EXPECT_EQ(sv::choose_procs(97, 97, opt), 1u);
+  // 97x97 clears the grain threshold at p=2; the ragged layout tiles it,
+  // so the old shrink-until-divisible fallback is gone.
+  EXPECT_EQ(sv::choose_procs(97, 97, opt), 2u);
 }
 
 // ---------------------------------------------------------------------------
@@ -413,9 +488,9 @@ TEST(PipelineTest, ParallelFaultDegradesToSequential) {
   EXPECT_EQ(ok.status, sv::JobStatus::kOk);
 }
 
-TEST(PipelineTest, ForcedParallelOnIncompatibleShapeDegrades) {
-  // 97x63 cannot be tiled; force_procs insists on the parallel path, which
-  // throws in the layout and degrades.
+TEST(PipelineTest, ForcedParallelOnOddShapeSucceeds) {
+  // 97x63 used to be untileable; under the ragged layout a forced
+  // parallel run handles it exactly.
   im::GreyImage image(97, 63, 0);
   image.at(5, 5) = 1;
   const auto reference = ccseq::label_components_bfs(image);
@@ -424,10 +499,49 @@ TEST(PipelineTest, ForcedParallelOnIncompatibleShapeDegrades) {
   job.force_procs = 4;
   auto pending = pipeline.submit_components(image, {}, job);
   auto result = pending.result.get();
+  EXPECT_EQ(result.status, sv::JobStatus::kOk);
+  EXPECT_EQ(result.procs, 4u);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result.value, reference);
+}
+
+TEST(PipelineTest, ForcedParallelOnIncompatibleParamsDegrades) {
+  // equalize_parallel requires p | k; force_procs=4 with k=2 throws on
+  // the parallel path and degrades to the sequential reference.
+  const auto image = im::make_random_grey(96, 2, 13);
+  const auto reference = hist::equalize(image, 2);
+  sv::Pipeline pipeline;
+  sv::JobOptions job;
+  job.force_procs = 4;
+  auto pending = pipeline.submit_equalize(image, 2, job);
+  auto result = pending.result.get();
   EXPECT_EQ(result.status, sv::JobStatus::kDegraded);
   ASSERT_TRUE(result.has_value());
   EXPECT_EQ(*result.value, reference);
   EXPECT_FALSE(result.error.empty());
+}
+
+TEST(PipelineTest, VgaFrameParallelMatchesSequentialExactly) {
+  // The acceptance shape: 640x480 routes to p=16, runs on the SPMD
+  // machine (not the sequential fallback), and the canonical labeling
+  // agrees with the reference pixel for pixel.
+  const auto square = im::make_darpa_like(640);
+  im::GreyImage image(640, 480);
+  for (std::uint32_t i = 0; i < 640; ++i) {
+    for (std::uint32_t j = 0; j < 480; ++j) image(i, j) = square(i, j);
+  }
+  const histcc::cc::CcOptions options;
+  const auto reference =
+      ccseq::label_components_bfs(image, options.connectivity, options.rule);
+  sv::Pipeline pipeline;
+  auto pending = pipeline.submit_components(image, options);
+  auto result = pending.result.get();
+  EXPECT_EQ(result.status, sv::JobStatus::kOk);
+  EXPECT_EQ(result.procs, 16u);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result.value, reference);
+  EXPECT_EQ(pipeline.metrics().degraded, 0u);
+  EXPECT_GE(pipeline.metrics().machines_built, 1u);
 }
 
 // ---------------------------------------------------------------------------

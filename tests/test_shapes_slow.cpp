@@ -1,0 +1,84 @@
+// The heavyweight half of the shape sweep (see test_shapes.cpp): a full
+// 640 x 480 VGA frame — the ISSUE's acceptance shape — through the
+// parallel connected-components stack at p in {1, 4, 16}, checked
+// pixel-for-pixel against the three sequential labelers, plus the
+// distributed component statistics.  Labelled `slow-ledger`: excluded
+// from the quick presets, run instrumented in the race-ledger job where
+// the default RacePolicy::kThrow certifies the protocol on a shape with
+// ragged tiles in both dimensions.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "histcc/cc/parallel_cc.hpp"
+#include "histcc/cc/stats_parallel.hpp"
+#include "histcc/cc_seq/analysis.hpp"
+#include "histcc/cc_seq/bfs_label.hpp"
+#include "histcc/cc_seq/hoshen_kopelman.hpp"
+#include "histcc/cc_seq/union_find.hpp"
+#include "histcc/image/generators.hpp"
+#include "histcc/splitc/machine.hpp"
+
+namespace cc = histcc::cc;
+namespace ccseq = histcc::ccseq;
+namespace im = histcc::img;
+namespace sc = histcc::splitc;
+
+namespace {
+
+im::GreyImage make_vga_scene() {
+  const auto square = im::make_darpa_like(640);
+  im::GreyImage scene(640, 480);
+  for (std::uint32_t i = 0; i < 640; ++i) {
+    for (std::uint32_t j = 0; j < 480; ++j) scene(i, j) = square(i, j);
+  }
+  return scene;
+}
+
+class VgaFrame : public ::testing::TestWithParam<std::uint32_t> {};
+
+}  // namespace
+
+TEST_P(VgaFrame, ParallelComponentsMatchAllSequentialLabelers) {
+  const std::uint32_t p = GetParam();
+  const auto scene = make_vga_scene();
+  cc::CcOptions options;
+  options.rule = ccseq::ColourRule::kSameColour;
+  const auto reference =
+      ccseq::label_components_bfs(scene, options.connectivity, options.rule);
+  EXPECT_EQ(
+      ccseq::label_components_unionfind(scene, options.connectivity,
+                                        options.rule),
+      reference);
+  EXPECT_EQ(ccseq::label_components_hoshen_kopelman(scene,
+                                                    options.connectivity,
+                                                    options.rule),
+            reference);
+  sc::Machine machine(p);  // RacePolicy::kThrow: ledger-clean or fail
+  EXPECT_EQ(cc::connected_components_parallel(machine, scene, options),
+            reference)
+      << "p=" << p;
+}
+
+TEST_P(VgaFrame, DistributedStatsMatchSequentialReference) {
+  const std::uint32_t p = GetParam();
+  const auto scene = make_vga_scene();
+  const cc::CcOptions options;
+  const auto labels =
+      ccseq::label_components_bfs(scene, options.connectivity, options.rule);
+  const auto reference = ccseq::component_stats(scene, labels);
+  sc::Machine machine(p);
+  const auto stats = cc::component_stats_parallel(machine, scene, labels);
+  ASSERT_EQ(stats.size(), reference.size()) << "p=" << p;
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    EXPECT_EQ(stats[i].label, reference[i].label);
+    EXPECT_EQ(stats[i].pixels, reference[i].pixels);
+    EXPECT_EQ(stats[i].min_row, reference[i].min_row);
+    EXPECT_EQ(stats[i].min_col, reference[i].min_col);
+    EXPECT_EQ(stats[i].max_row, reference[i].max_row);
+    EXPECT_EQ(stats[i].max_col, reference[i].max_col);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, VgaFrame, ::testing::Values(1, 4, 16));

@@ -141,8 +141,8 @@ TEST(StatsParallelTest, DistributedPipelineEndToEnd) {
   const auto image = im::make_darpa_like(n, 21);
   sc::Machine machine(p);
   const im::TileLayout layout(n, p);
-  sc::Spread<std::uint8_t> tiles(machine, layout.tile_size());
-  sc::Spread<std::uint32_t> labels(machine, layout.tile_size());
+  sc::Spread<std::uint8_t> tiles(machine, layout.max_tile_size());
+  sc::Spread<std::uint32_t> labels(machine, layout.max_tile_size());
   layout.scatter(image, tiles);
   cc::CcOptions options;
   options.rule = cs::ColourRule::kSameColour;
@@ -161,7 +161,7 @@ TEST(StatsParallelTest, ShapeMismatchRejected) {
   const auto labels = cs::label_components_bfs(image);
   sc::Machine machine(4);
   const im::TileLayout layout(64, 4);
-  sc::Spread<std::uint8_t> tiles(machine, layout.tile_size());
+  sc::Spread<std::uint8_t> tiles(machine, layout.max_tile_size());
   sc::Spread<std::uint32_t> small(machine, 1);
   layout.scatter(image, tiles);
   EXPECT_THROW(

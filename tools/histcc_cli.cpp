@@ -230,8 +230,8 @@ int cmd_equalize(const Args& args) {
   const std::uint32_t k = args.get_u32("k", 256);
   const std::uint32_t p = args.get_u32("p", 16);
   splitc::Machine machine(p);
-  const img::TileLayout layout(image.height(), p);
-  splitc::Spread<std::uint8_t> tiles(machine, layout.tile_size());
+  const img::TileLayout layout(image.height(), image.width(), p);
+  splitc::Spread<std::uint8_t> tiles(machine, layout.max_tile_size());
   layout.scatter(image, tiles);
   hist::equalize_parallel(machine, layout, tiles, k);
   img::write_pgm_file(args.require("out"), layout.gather(tiles));
@@ -255,9 +255,9 @@ int cmd_morph(const Args& args) {
   } else if (op == "erode" || op == "dilate") {
     // Single-step operations run on the virtual machine.
     splitc::Machine machine(p);
-    const img::TileLayout layout(image.height(), p);
-    splitc::Spread<std::uint8_t> tiles(machine, layout.tile_size());
-    splitc::Spread<std::uint8_t> out(machine, layout.tile_size());
+    const img::TileLayout layout(image.height(), image.width(), p);
+    splitc::Spread<std::uint8_t> tiles(machine, layout.max_tile_size());
+    splitc::Spread<std::uint8_t> out(machine, layout.max_tile_size());
     layout.scatter(image, tiles);
     if (op == "erode") {
       morph::erode_parallel(machine, layout, tiles, out, element);

@@ -337,6 +337,9 @@ struct Scope {
   bool is_if = false;     ///< participates in else-inheritance
   bool implicit = false;  ///< single-statement control body (no braces)
   bool is_callable = false;
+  bool is_loop = false;    ///< for/while/do body: `continue` target
+  bool is_switch = false;  ///< switch body: `break` target (with loops)
+  int scope_id = 0;      ///< unique id, for bounding break/continue
   int callable_id = 0;   ///< innermost enclosing callable (self if callable)
   int saved_region = 0;  ///< for callables: the enclosing region to restore
   int header_line = 0;   ///< line of the controlling condition
@@ -346,6 +349,8 @@ struct Pending {
   bool active = false;
   bool rank_dep = false;
   bool is_if = false;
+  bool is_loop = false;
+  bool is_switch = false;
   int header_line = 0;
 };
 
@@ -359,6 +364,11 @@ struct EarlyExit {
   int line;
   int callable_id;
   int guard_line;
+  /// For `break`/`continue`: id of the loop/switch scope the jump lands at
+  /// the end of; 0 for `return` (bounded by the callable instead).  A
+  /// barrier *after* that scope is crossed by every rank regardless of the
+  /// jump, so only barriers inside the bound scope count as skipped.
+  int bound_scope_id;
   std::string keyword;
 };
 
@@ -442,6 +452,7 @@ void scan_file(const LexedFile& file, std::vector<Finding>* out) {
   bool last_if_rank_dep = false;
   int last_if_line = 0;
   int callable_counter = 0;
+  int scope_counter = 0;
   // Barrier-delimited region id.  Barriers/collectives start a fresh id;
   // entering a nested callable starts a fresh id and leaving it restores
   // the enclosing one, so an inline lambda (a sort comparator, say) does
@@ -451,6 +462,7 @@ void scan_file(const LexedFile& file, std::vector<Finding>* out) {
   std::vector<BarrierEvent> barriers;
   std::vector<EarlyExit> exits;
   std::map<int, std::size_t> callable_end;   // callable id -> closing tok
+  std::map<int, std::size_t> scope_end;      // scope id -> closing tok
   std::map<std::string, std::string> alias;  // local-span var -> spread
   std::vector<Mutation> mutations;
   std::set<std::pair<std::string, int>> annotations;  // (spread, region)
@@ -472,6 +484,7 @@ void scan_file(const LexedFile& file, std::vector<Finding>* out) {
     if (scopes.empty()) return;
     const Scope s = scopes.back();
     scopes.pop_back();
+    scope_end[s.scope_id] = tok_idx;
     if (s.is_if) {
       last_if_rank_dep = s.rank_dep;
       last_if_line = s.header_line;
@@ -487,6 +500,37 @@ void scan_file(const LexedFile& file, std::vector<Finding>* out) {
       if (is_ident(t, k) && rank_dep_ident(t[k].text)) return true;
     }
     return false;
+  };
+
+  // Does the `{` at token i open a callable body?  Directly after a
+  // parameter list / lambda introducer, or after a trailing return type
+  // (`) -> T {` with T built from identifiers, `::`, `<`/`>`, `*`, `&`).
+  auto is_callable_brace = [&](std::size_t i) {
+    if (i == 0) return false;
+    if (is_punct(t, i - 1, ")") || is_punct(t, i - 1, "]")) return true;
+    std::size_t j = i - 1;
+    for (int steps = 0; j > 0 && steps < 24; ++steps, --j) {
+      const Token& tk = t[j];
+      if (tk.kind == TokKind::kIdent) continue;
+      if (tk.kind == TokKind::kPunct &&
+          (tk.text == "::" || tk.text == "<" || tk.text == ">" ||
+           tk.text == "*" || tk.text == "&" || tk.text == ",")) {
+        continue;
+      }
+      return tk.kind == TokKind::kPunct && tk.text == "->" && j > 0 &&
+             is_punct(t, j - 1, ")");
+    }
+    return false;
+  };
+
+  // `break`/`continue` jump to the end of the innermost enclosing loop
+  // (or switch, for break) — not out of the callable.
+  auto jump_bound_scope = [&](bool is_break) {
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+      if (it->is_callable) break;
+      if (it->is_loop || (is_break && it->is_switch)) return it->scope_id;
+    }
+    return 0;
   };
 
   for (std::size_t i = 0; i < t.size(); ++i) {
@@ -537,7 +581,13 @@ void scan_file(const LexedFile& file, std::vector<Finding>* out) {
         dep = dep || else_rank_dep;  // `else if` inherits divergence
         else_pending = false;
       }
-      pending = Pending{true, dep, t[i].text == "if", t[i].line};
+      const bool loop = is_ident(t, i, "for") || is_ident(t, i, "while");
+      pending = Pending{true,
+                        dep,
+                        t[i].text == "if",
+                        loop,
+                        t[i].text == "switch",
+                        t[i].line};
       i = close;  // conditions are expressions; no barriers inside
       continue;
     }
@@ -548,25 +598,27 @@ void scan_file(const LexedFile& file, std::vector<Finding>* out) {
       continue;
     }
     if (is_ident(t, i, "do") && is_punct(t, i + 1, "{")) {
-      pending = Pending{true, false, false, t[i].line};
+      pending = Pending{true, false, false, true, false, t[i].line};
       continue;
     }
 
     // ---- braces / statement ends --------------------------------------
     if (is_punct(t, i, "{")) {
       Scope s;
+      s.scope_id = ++scope_counter;
       s.callable_id = cur_callable();
       if (pending.active) {
         s.rank_dep = pending.rank_dep;
         s.is_if = pending.is_if;
+        s.is_loop = pending.is_loop;
+        s.is_switch = pending.is_switch;
         s.header_line = pending.header_line;
         pending = Pending{};
       } else if (else_pending) {
         s.rank_dep = else_rank_dep;
         s.header_line = else_line;
         else_pending = false;
-      } else if (i > 0 &&
-                 (is_punct(t, i - 1, ")") || is_punct(t, i - 1, "]"))) {
+      } else if (is_callable_brace(i)) {
         // Function or lambda body: a new callable with its own regions.
         s.is_callable = true;
         s.callable_id = ++callable_counter;
@@ -592,11 +644,14 @@ void scan_file(const LexedFile& file, std::vector<Finding>* out) {
     // processed as part of that statement.
     if (pending.active || else_pending) {
       Scope s;
+      s.scope_id = ++scope_counter;
       s.callable_id = cur_callable();
       s.implicit = true;
       if (pending.active) {
         s.rank_dep = pending.rank_dep;
         s.is_if = pending.is_if;
+        s.is_loop = pending.is_loop;
+        s.is_switch = pending.is_switch;
         s.header_line = pending.header_line;
         pending = Pending{};
       } else {
@@ -612,8 +667,11 @@ void scan_file(const LexedFile& file, std::vector<Finding>* out) {
     if (is_ident(t, i, "return") || is_ident(t, i, "break") ||
         is_ident(t, i, "continue")) {
       if (const Scope* guard = innermost_rank_guard()) {
+        const int bound = tok.text == "return"
+                              ? 0
+                              : jump_bound_scope(tok.text == "break");
         exits.push_back(EarlyExit{i, tok.line, cur_callable(),
-                                  guard->header_line, tok.text});
+                                  guard->header_line, bound, tok.text});
       }
       continue;
     }
@@ -707,11 +765,19 @@ void scan_file(const LexedFile& file, std::vector<Finding>* out) {
     }
   }
 
-  // ---- R1: early exits followed by a barrier in the same callable -------
+  // ---- R1: early exits followed by a barrier the jump skips -------------
+  // `return` skips everything to the end of the callable; `break` and
+  // `continue` only skip to the end of their loop (or switch), so a
+  // barrier after the loop is crossed by every rank and is not a finding.
   for (const EarlyExit& e : exits) {
-    const auto end_it = callable_end.find(e.callable_id);
-    const std::size_t end =
-        end_it == callable_end.end() ? t.size() : end_it->second;
+    std::size_t end = t.size();
+    if (e.bound_scope_id != 0) {
+      const auto scope_it = scope_end.find(e.bound_scope_id);
+      if (scope_it != scope_end.end()) end = scope_it->second;
+    } else {
+      const auto end_it = callable_end.find(e.callable_id);
+      if (end_it != callable_end.end()) end = end_it->second;
+    }
     for (const BarrierEvent& b : barriers) {
       if (b.callable_id == e.callable_id && b.tok > e.tok && b.tok < end) {
         add(Rule::kBarrierDivergence, e.line,
