@@ -106,6 +106,60 @@ int main(int argc, char** argv) {
     std::printf("  virtual machine (paper)  %8.2f ms\n\n", vm.min_s * 1e3);
   }
 
+  // Ragged-shape allocation footprint: the Spread payload bytes a cc +
+  // histogram run constructs under each SpreadLayout.  Very wide / very
+  // tall shapes carry the worst max_tile_size() padding, so packed mode
+  // should land strictly below strided there (docs/layout.md); the
+  // footprint_bytes extra field (schema v3) records both sides so the
+  // reclaimed slack is a measured number, not an assertion.
+  std::printf("allocation footprint, packed vs strided (ragged shapes):\n");
+  for (const auto& [h, w] : {std::pair{7u, 513u}, std::pair{1000u, 3u}}) {
+    img::GreyImage image(h, w);
+    std::uint64_t state = 0x9E3779B97F4A7C15ull * (h * 131u + w);
+    for (auto& px : image.pixels()) {
+      state += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = state;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      px = static_cast<std::uint8_t>((z ^ (z >> 31)) & 255u);
+    }
+    const std::string shape =
+        std::to_string(h) + "x" + std::to_string(w);
+    double strided_bytes = 0;
+    for (const auto mode : {splitc::SpreadLayout::kStrided,
+                            splitc::SpreadLayout::kPacked}) {
+      const bool packed = mode == splitc::SpreadLayout::kPacked;
+      splitc::Machine machine(p);
+      machine.set_spread_layout(mode);
+      cc::CcOptions options;
+      machine.reset_alloc_stats();
+      const auto timing = bench::sample(3, [&] {
+        benchmark::DoNotOptimize(
+            cc::connected_components_parallel(machine, image, options));
+        benchmark::DoNotOptimize(
+            hist::histogram_parallel(machine, image, 256));
+      });
+      const auto bytes =
+          static_cast<double>(machine.spread_bytes_allocated());
+      if (!packed) strided_bytes = bytes;
+      const double pixels = static_cast<double>(h) * w;
+      json.add(std::string("footprint_") + (packed ? "packed" : "strided") +
+                   "_" + shape,
+               p, timing.mean_s * 1e9, timing.min_s * 1e9,
+               pixels / timing.mean_s, {{"footprint_bytes", bytes}});
+      std::printf("  %-9s %-8s %12.0f bytes%s\n", shape.c_str(),
+                  packed ? "packed" : "strided", bytes,
+                  packed && strided_bytes > 0
+                      ? (" (" +
+                         std::to_string(static_cast<int>(
+                             100.0 * (1.0 - bytes / strided_bytes))) +
+                         "% reclaimed)")
+                            .c_str()
+                      : "");
+    }
+  }
+  std::printf("\n");
+
   if (json.write()) {
     std::printf("machine-readable results: %s\n\n", json.path().c_str());
   }

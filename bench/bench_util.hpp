@@ -54,6 +54,11 @@ Timing sample(int reps, Fn&& fn) {
 /// across PRs: `git_sha` (configure-time `git rev-parse --short HEAD`) and
 /// `build_preset` (which CMake preset produced the binary), both
 /// "unknown" when built outside the presets/git.
+///
+/// Schema v3 adds the optional `footprint_bytes` extra field: the Spread
+/// payload bytes a run allocated (Machine::spread_bytes_allocated), used
+/// by bench_host's packed-vs-strided allocation-mode records so the memory
+/// reclaimed by SpreadLayout::kPacked is a measured number.
 class JsonReport {
  public:
   /// \param bench short tag ("host", "pipeline"); the file becomes
@@ -61,7 +66,7 @@ class JsonReport {
   explicit JsonReport(std::string bench)
       : bench_(std::move(bench)), path_("BENCH_" + bench_ + ".json") {}
 
-  static constexpr int kSchemaVersion = 2;
+  static constexpr int kSchemaVersion = 3;
 
   [[nodiscard]] static const char* git_sha() noexcept {
 #ifdef HISTCC_GIT_SHA

@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
 
   splitc::Machine machine(p);
   const img::TileLayout layout(n, p);
-  splitc::Spread<std::uint8_t> tiles(machine, layout.max_tile_size(),
+  splitc::Spread<std::uint8_t> tiles(machine, layout.tile_sizes(),
                                      "scene_tiles");
   layout.scatter(scene, tiles);
 

@@ -30,9 +30,9 @@ int main(int argc, char** argv) {
 
   splitc::Machine machine(p);
   const img::TileLayout layout(h, w, p);
-  splitc::Spread<std::uint8_t> tiles(machine, layout.max_tile_size(),
+  splitc::Spread<std::uint8_t> tiles(machine, layout.tile_sizes(),
                                      "objrec_tiles");
-  splitc::Spread<std::uint32_t> labels(machine, layout.max_tile_size(),
+  splitc::Spread<std::uint32_t> labels(machine, layout.tile_sizes(),
                                        "objrec_labels");
   layout.scatter(scene, tiles);
 

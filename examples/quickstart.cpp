@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
 
   // 2. Distribute it once; both algorithms reuse the same tiles.
   const img::TileLayout layout(h, w, p);
-  splitc::Spread<std::uint8_t> tiles(machine, layout.max_tile_size(), "quickstart_tiles");
+  splitc::Spread<std::uint8_t> tiles(machine, layout.tile_sizes(), "quickstart_tiles");
   layout.scatter(scene, tiles);
   std::printf("layout: %ux%u processor grid, tiles up to %ux%u "
               "(edge tiles may be smaller)\n",

@@ -39,8 +39,15 @@ void reduce_to_root(splitc::Proc& self, splitc::Spread<T>& dst,
                     std::uint32_t root = 0) {
   const std::uint32_t p = self.nprocs();
   HISTCC_REQUIRE(root < p, "root out of range");
-  HISTCC_REQUIRE(src.per_proc() >= count && dst.per_proc() >= count,
-                 "spread blocks too small");
+  // Every source block is read over [0, count); only the root's
+  // destination block is written.
+  HISTCC_REQUIRE(src.min_per_proc() >= count,
+                 "reduce_to_root: source blocks too small (Spread '" +
+                     src.name() + "')");
+  HISTCC_REQUIRE(dst.block_size(root) >= count,
+                 "reduce_to_root: destination block too small on root "
+                 "(Spread '" +
+                     dst.name() + "')");
   self.barrier();  // publish src
   if (self.rank() == root) {
     auto acc = dst.local(self);
@@ -67,9 +74,15 @@ void allreduce(splitc::Proc& self, splitc::Spread<T>& dst,
                std::size_t count, Op op) {
   const std::uint32_t p = self.nprocs();
   HISTCC_REQUIRE(count % p == 0, "allreduce requires p | count");
-  HISTCC_REQUIRE(src.per_proc() >= count && dst.per_proc() >= count &&
-                     scratch.per_proc() >= count / p,
-                 "spread blocks too small");
+  HISTCC_REQUIRE(src.min_per_proc() >= count,
+                 "allreduce: source blocks too small (Spread '" +
+                     src.name() + "')");
+  HISTCC_REQUIRE(dst.min_per_proc() >= count,
+                 "allreduce: destination blocks too small (Spread '" +
+                     dst.name() + "')");
+  HISTCC_REQUIRE(scratch.min_per_proc() >= count / p,
+                 "allreduce: scratch blocks too small (Spread '" +
+                     scratch.name() + "')");
   const std::size_t blk = count / p;
   const std::uint32_t i = self.rank();
 
@@ -112,7 +125,9 @@ void allreduce(splitc::Proc& self, splitc::Spread<T>& dst,
 /// a Spread with at least one element per processor.  Collective.
 template <typename T, typename Op>
 T exscan(splitc::Proc& self, splitc::Spread<T>& slots, T my_value, Op op) {
-  HISTCC_REQUIRE(slots.per_proc() >= 1, "spread blocks too small");
+  HISTCC_REQUIRE(slots.min_per_proc() >= 1,
+                 "exscan: spread blocks too small (Spread '" + slots.name() +
+                     "')");
   slots.local(self)[0] = my_value;
   slots.note_local_write(self, 0, 1);  // race-ledger epoch annotation
   self.barrier();  // publish values

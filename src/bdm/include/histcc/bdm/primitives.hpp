@@ -46,8 +46,14 @@ void transpose(splitc::Proc& self, splitc::Spread<T>& dst,
                splitc::Spread<T>& src, std::size_t q) {
   const std::uint32_t p = self.nprocs();
   HISTCC_REQUIRE(q % p == 0, "transpose requires p | q");
-  HISTCC_REQUIRE(src.per_proc() >= q && dst.per_proc() >= q,
-                 "spread blocks too small for q");
+  // Every block of both arrays is addressed over [0, q), so the bound is
+  // on the *smallest* block — uniform and packed spreads alike.
+  HISTCC_REQUIRE(src.min_per_proc() >= q,
+                 "transpose: source blocks too small for q (Spread '" +
+                     src.name() + "')");
+  HISTCC_REQUIRE(dst.min_per_proc() >= q,
+                 "transpose: destination blocks too small for q (Spread '" +
+                     dst.name() + "')");
   const std::size_t blk = q / p;
   const std::uint32_t i = self.rank();
 
@@ -71,8 +77,18 @@ void truncated_transpose(splitc::Proc& self, splitc::Spread<T>& dst,
                          splitc::Spread<T>& src, std::size_t k) {
   const std::uint32_t p = self.nprocs();
   HISTCC_REQUIRE(k <= p, "truncated transpose requires k <= p");
-  HISTCC_REQUIRE(src.per_proc() >= k, "source blocks too small for k");
-  HISTCC_REQUIRE(dst.per_proc() >= p, "destination blocks too small for p");
+  HISTCC_REQUIRE(src.min_per_proc() >= k,
+                 "truncated transpose: source blocks too small for k "
+                 "(Spread '" +
+                     src.name() + "')");
+  // Only the first k processors receive a row, so only their destination
+  // blocks must hold p elements.
+  for (std::uint32_t r = 0; r < k; ++r) {
+    HISTCC_REQUIRE(dst.block_size(r) >= p,
+                   "truncated transpose: destination block too small for p "
+                   "(Spread '" +
+                       dst.name() + "')");
+  }
   const std::uint32_t i = self.rank();
 
   self.barrier();  // publish src
@@ -102,9 +118,15 @@ void broadcast(splitc::Proc& self, splitc::Spread<T>& dst,
                std::size_t q) {
   const std::uint32_t p = self.nprocs();
   HISTCC_REQUIRE(q % p == 0 && q >= p, "broadcast requires p | q and q >= p");
-  HISTCC_REQUIRE(src.per_proc() >= q && dst.per_proc() >= q &&
-                     scratch.per_proc() >= q,
-                 "spread blocks too small for q");
+  HISTCC_REQUIRE(src.min_per_proc() >= q,
+                 "broadcast: source blocks too small for q (Spread '" +
+                     src.name() + "')");
+  HISTCC_REQUIRE(dst.min_per_proc() >= q,
+                 "broadcast: destination blocks too small for q (Spread '" +
+                     dst.name() + "')");
+  HISTCC_REQUIRE(scratch.min_per_proc() >= q,
+                 "broadcast: scratch blocks too small for q (Spread '" +
+                     scratch.name() + "')");
   const std::size_t blk = q / p;
   const std::uint32_t i = self.rank();
 
@@ -142,10 +164,17 @@ void gather_to_root(splitc::Proc& self, splitc::Spread<T>& dst,
   if (nblocks == 0) nblocks = p;
   HISTCC_REQUIRE(root < p, "root out of range");
   HISTCC_REQUIRE(nblocks <= p, "more blocks than processors");
-  HISTCC_REQUIRE(src.per_proc() >= src_off + per_block,
-                 "source blocks too small");
-  HISTCC_REQUIRE(dst.per_proc() >= per_block * nblocks,
-                 "destination block too small on root");
+  // Only the first `nblocks` source blocks are read, and only the root's
+  // destination block is written — per-rank bounds, not a uniform stride.
+  for (std::uint32_t r = 0; r < nblocks; ++r) {
+    HISTCC_REQUIRE(src.block_size(r) >= src_off + per_block,
+                   "gather_to_root: source block too small (Spread '" +
+                       src.name() + "')");
+  }
+  HISTCC_REQUIRE(dst.block_size(root) >= per_block * nblocks,
+                 "gather_to_root: destination block too small on root "
+                 "(Spread '" +
+                     dst.name() + "')");
 
   self.barrier();  // publish src
   if (self.rank() == root) {

@@ -27,19 +27,25 @@ img::LabelImage connected_components_label_prop(splitc::Machine& machine,
                                                 ccseq::ColourRule rule,
                                                 LabelPropStats* stats) {
   HISTCC_REQUIRE(tiles.nprocs() == machine.nprocs() &&
-                     tiles.per_proc() >= layout.max_tile_size(),
-                 "tiles spread does not match layout");
+                     layout.spread_fits(tiles),
+                 "tiles spread does not fit layout (Spread '" +
+                     tiles.name() + "')");
   const std::uint32_t p = machine.nprocs();
   const std::uint32_t v = layout.grid_rows();
   const std::uint32_t w = layout.grid_cols();
-  // Blocks sized for the largest tile; each rank uses its own prefix.
-  const auto max_lines =
-      line_offsets(layout.max_tile_rows(), layout.max_tile_cols());
+  // Per-rank line capacity: each rank packs its four border lines in its
+  // *own* tile shape, so rank r needs exactly 2*(q_r + r_r) slots (packed
+  // mode allocates just that; strided pads to the max).
+  std::vector<std::size_t> line_sizes(p);
+  for (std::uint32_t rank = 0; rank < p; ++rank) {
+    line_sizes[rank] =
+        line_offsets(layout.tile_rows(rank), layout.tile_cols(rank)).total;
+  }
 
-  splitc::Spread<std::uint32_t> labels(machine, layout.max_tile_size(),
+  splitc::Spread<std::uint32_t> labels(machine, layout.tile_sizes(),
                                        "labels");
-  splitc::Spread<std::uint32_t> line_lb(machine, max_lines.total, "line_lb");
-  splitc::Spread<std::uint8_t> line_px(machine, max_lines.total, "line_px");
+  splitc::Spread<std::uint32_t> line_lb(machine, line_sizes, "line_lb");
+  splitc::Spread<std::uint8_t> line_px(machine, line_sizes, "line_px");
   splitc::Spread<std::uint32_t> flags(machine, 1, "flags");
 
   std::uint32_t rounds = 0;
@@ -263,7 +269,7 @@ img::LabelImage connected_components_label_prop(splitc::Machine& machine,
                                                 LabelPropStats* stats) {
   const img::TileLayout layout(image.height(), image.width(),
                                machine.nprocs());
-  splitc::Spread<std::uint8_t> tiles(machine, layout.max_tile_size(),
+  splitc::Spread<std::uint8_t> tiles(machine, layout.tile_sizes(),
                                      "prop_tiles");
   layout.scatter(image, tiles);
   return connected_components_label_prop(machine, layout, tiles, conn, rule,

@@ -47,11 +47,13 @@ void connected_components_parallel(splitc::Machine& machine,
                                    const CcOptions& options,
                                    CcPhases* phases) {
   HISTCC_REQUIRE(tiles.nprocs() == machine.nprocs() &&
-                     tiles.per_proc() >= layout.max_tile_size(),
-                 "tiles spread does not match layout");
+                     layout.spread_fits(tiles),
+                 "tiles spread does not fit layout (Spread '" +
+                     tiles.name() + "')");
   HISTCC_REQUIRE(labels.nprocs() == machine.nprocs() &&
-                     labels.per_proc() >= layout.max_tile_size(),
-                 "labels spread does not match layout");
+                     layout.spread_fits(labels),
+                 "labels spread does not fit layout (Spread '" +
+                     labels.name() + "')");
   const util::GridShape grid{layout.grid_rows(), layout.grid_cols()};
   const auto schedule = merge_schedule(grid);
 
@@ -316,7 +318,7 @@ img::LabelImage connected_components_parallel(splitc::Machine& machine,
                                               splitc::Spread<std::uint8_t>& tiles,
                                               const CcOptions& options,
                                               CcPhases* phases) {
-  splitc::Spread<std::uint32_t> labels(machine, layout.max_tile_size(),
+  splitc::Spread<std::uint32_t> labels(machine, layout.tile_sizes(),
                                        "labels");
   connected_components_parallel(machine, layout, tiles, labels, options,
                                 phases);
@@ -329,7 +331,7 @@ img::LabelImage connected_components_parallel(splitc::Machine& machine,
                                               CcPhases* phases) {
   const img::TileLayout layout(image.height(), image.width(),
                                machine.nprocs());
-  splitc::Spread<std::uint8_t> tiles(machine, layout.max_tile_size(), "tiles");
+  splitc::Spread<std::uint8_t> tiles(machine, layout.tile_sizes(), "tiles");
   layout.scatter(image, tiles);
   return connected_components_parallel(machine, layout, tiles, options,
                                        phases);

@@ -74,8 +74,9 @@ std::vector<RegionEdge> region_adjacency_parallel(
     splitc::Machine& machine, const img::TileLayout& layout,
     splitc::Spread<std::uint32_t>& labels, ccseq::Connectivity conn) {
   HISTCC_REQUIRE(labels.nprocs() == machine.nprocs() &&
-                     labels.per_proc() >= layout.max_tile_size(),
-                 "labels spread does not match layout");
+                     layout.spread_fits(labels),
+                 "labels spread does not fit layout (Spread '" +
+                     labels.name() + "')");
   const std::uint32_t p = machine.nprocs();
   const bool eight = conn == ccseq::Connectivity::kEight;
 
@@ -125,7 +126,7 @@ std::vector<RegionEdge> region_adjacency_parallel(splitc::Machine& machine,
                                                   ccseq::Connectivity conn) {
   const img::TileLayout layout(labels.height(), labels.width(),
                                machine.nprocs());
-  splitc::Spread<std::uint32_t> tiles(machine, layout.max_tile_size(),
+  splitc::Spread<std::uint32_t> tiles(machine, layout.tile_sizes(),
                                       "rag_tiles");
   layout.scatter(labels, tiles);
   return region_adjacency_parallel(machine, layout, tiles, conn);

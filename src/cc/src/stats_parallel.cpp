@@ -12,11 +12,13 @@ std::vector<ccseq::ComponentStats> component_stats_parallel(
     splitc::Spread<std::uint8_t>& tiles,
     splitc::Spread<std::uint32_t>& labels) {
   HISTCC_REQUIRE(tiles.nprocs() == machine.nprocs() &&
-                     tiles.per_proc() >= layout.max_tile_size(),
-                 "tiles spread does not match layout");
+                     layout.spread_fits(tiles),
+                 "tiles spread does not fit layout (Spread '" +
+                     tiles.name() + "')");
   HISTCC_REQUIRE(labels.nprocs() == machine.nprocs() &&
-                     labels.per_proc() >= layout.max_tile_size(),
-                 "labels spread does not match layout");
+                     layout.spread_fits(labels),
+                 "labels spread does not fit layout (Spread '" +
+                     labels.name() + "')");
   const std::uint32_t p = machine.nprocs();
 
   splitc::SpreadVec<ccseq::ComponentStats> partials(machine,
@@ -103,9 +105,9 @@ std::vector<ccseq::ComponentStats> component_stats_parallel(
     const img::LabelImage& labels) {
   const img::TileLayout layout(image.height(), image.width(),
                                machine.nprocs());
-  splitc::Spread<std::uint8_t> tiles(machine, layout.max_tile_size(),
+  splitc::Spread<std::uint8_t> tiles(machine, layout.tile_sizes(),
                                      "stats_tiles");
-  splitc::Spread<std::uint32_t> label_tiles(machine, layout.max_tile_size(),
+  splitc::Spread<std::uint32_t> label_tiles(machine, layout.tile_sizes(),
                                             "stats_labels");
   layout.scatter(image, tiles);
   layout.scatter(labels, label_tiles);

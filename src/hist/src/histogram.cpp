@@ -35,8 +35,9 @@ std::vector<std::uint32_t> histogram_parallel(splitc::Machine& machine,
                                               HistPhases* phases) {
   require_k(k);
   HISTCC_REQUIRE(tiles.nprocs() == machine.nprocs() &&
-                     tiles.per_proc() >= layout.max_tile_size(),
-                 "tiles spread does not match layout");
+                     layout.spread_fits(tiles),
+                 "tiles spread does not fit layout (Spread '" +
+                     tiles.name() + "')");
   const std::uint32_t p = machine.nprocs();
 
   // H_i[0..k): each processor's local tally.
@@ -131,7 +132,7 @@ std::vector<std::uint32_t> histogram_parallel(splitc::Machine& machine,
                                               HistPhases* phases) {
   const img::TileLayout layout(image.height(), image.width(),
                                machine.nprocs());
-  splitc::Spread<std::uint8_t> tiles(machine, layout.max_tile_size(),
+  splitc::Spread<std::uint8_t> tiles(machine, layout.tile_sizes(),
                                      "hist_tiles");
   layout.scatter(image, tiles);
   return histogram_parallel(machine, layout, tiles, k, phases);

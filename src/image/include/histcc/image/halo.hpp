@@ -37,9 +37,7 @@ class HaloExchangerT {
  public:
   HaloExchangerT(splitc::Machine& machine, const TileLayout& layout)
       : layout_(layout),
-        lines_(machine,
-               2ull * (layout.max_tile_rows() + layout.max_tile_cols()),
-               "halo_lines") {}
+        lines_(machine, line_sizes(layout), "halo_lines") {}
 
   /// Rows of `rank`'s halo buffer: tile_rows(rank) + 2.
   [[nodiscard]] std::uint32_t halo_rows(std::uint32_t rank) const noexcept {
@@ -168,9 +166,22 @@ class HaloExchangerT {
   }
 
  private:
+  /// Per-rank line capacity: rank r packs 2*(tile_rows(r) + tile_cols(r))
+  /// border elements in its own geometry, so that is all its block needs
+  /// (packed mode allocates exactly it; strided pads to the max).
+  [[nodiscard]] static std::vector<std::size_t> line_sizes(
+      const TileLayout& layout) {
+    std::vector<std::size_t> sizes(layout.nprocs());
+    for (std::uint32_t rank = 0; rank < layout.nprocs(); ++rank) {
+      sizes[rank] =
+          2ull * (layout.tile_rows(rank) + layout.tile_cols(rank));
+    }
+    return sizes;
+  }
+
   const TileLayout& layout_;
-  // Packed per-processor border lines, sized for the largest tile:
-  // [north r][south r][west q][east q] in each rank's own geometry.
+  // Packed per-processor border lines: [north r][south r][west q][east q]
+  // in each rank's own geometry.
   splitc::Spread<T> lines_;
 };
 

@@ -31,15 +31,20 @@
 /// used by the SPMD algorithms (tile pixels stored row-major within each
 /// block).
 ///
-/// Spread contract: a Spread backing this layout must satisfy
-/// `per_proc() >= max_tile_size()` (the maximum of tile_size(rank) over
-/// all ranks, i.e. tile_size(0)) — oversized blocks are fine; each rank
-/// only uses the first tile_size(rank) elements of its block.  Blocks of
-/// empty tiles stay value-initialized (all zero = background), which is
-/// what the algorithms rely on when they skip work on empty ranks.
+/// Spread contract: a Spread backing this layout must hold at least
+/// `tile_size(rank)` elements on every rank — `spread_fits()` is the
+/// check.  Packed arrays (`Spread(machine, layout.tile_sizes(), ...)`
+/// under SpreadLayout::kPacked) meet it exactly; strided arrays pad every
+/// block to `max_tile_size()` (the PR-5 uniform contract) and each rank
+/// only uses the first tile_size(rank) elements.  `tile_offset(rank)` is
+/// the prefix sum of tile sizes — the rank's position in a packed
+/// whole-image enumeration.  Blocks of empty tiles stay value-initialized
+/// (all zero = background), which is what the algorithms rely on when
+/// they skip work on empty ranks.  See docs/layout.md.
 
 #include <algorithm>
 #include <cstdint>
+#include <vector>
 
 #include "histcc/image/image.hpp"
 #include "histcc/splitc/machine.hpp"
@@ -126,6 +131,37 @@ class TileLayout {
     return static_cast<std::size_t>(tile_rows(rank)) * tile_cols(rank);
   }
 
+  /// Prefix sum of tile sizes: the first slot of `rank` in a packed
+  /// enumeration of all tiles.  tile_offset(0) == 0,
+  /// tile_offset(p) == H * W.
+  [[nodiscard]] std::size_t tile_offset(std::uint32_t rank) const noexcept {
+    std::size_t off = 0;
+    for (std::uint32_t r = 0; r < rank; ++r) off += tile_size(r);
+    return off;
+  }
+
+  /// The per-rank size table [tile_size(0), ..., tile_size(p-1)] — the
+  /// argument for Spread's per-rank constructor.
+  [[nodiscard]] std::vector<std::size_t> tile_sizes() const {
+    std::vector<std::size_t> sizes(p_);
+    for (std::uint32_t rank = 0; rank < p_; ++rank) {
+      sizes[rank] = tile_size(rank);
+    }
+    return sizes;
+  }
+
+  /// The Spread contract: `spread` can back this layout — same processor
+  /// count, and every rank's block holds at least its tile.
+  template <typename T>
+  [[nodiscard]] bool spread_fits(const splitc::Spread<T>& spread)
+      const noexcept {
+    if (spread.nprocs() != p_) return false;
+    for (std::uint32_t rank = 0; rank < p_; ++rank) {
+      if (spread.block_size(rank) < tile_size(rank)) return false;
+    }
+    return true;
+  }
+
   /// Logical grid row I of processor `rank` (row-major assignment).
   [[nodiscard]] std::uint32_t proc_row(std::uint32_t rank) const noexcept {
     return rank / grid_.cols;
@@ -163,15 +199,16 @@ class TileLayout {
   }
 
   /// Cut a host image into tiles, one Spread block per processor, pixels
-  /// row-major within the tile.  Requires `out.per_proc() >=
-  /// max_tile_size()` (see the Spread contract in the file comment);
-  /// blocks of empty tiles are left untouched (zero).
+  /// row-major within the tile.  Requires `spread_fits(out)` (see the
+  /// Spread contract in the file comment); blocks of empty tiles are left
+  /// untouched (zero).
   template <typename T>
   void scatter(const Image<T>& image, splitc::Spread<T>& out) const {
     HISTCC_REQUIRE(image.height() == height_ && image.width() == width_,
                    "image shape does not match layout");
-    HISTCC_REQUIRE(out.per_proc() >= max_tile_size() && out.nprocs() == p_,
-                   "spread does not match layout");
+    HISTCC_REQUIRE(spread_fits(out),
+                   "spread does not fit layout (Spread '" + out.name() +
+                       "')");
     for (std::uint32_t rank = 0; rank < p_; ++rank) {
       auto block = out.block(rank);
       const std::uint32_t q = tile_rows(rank);
@@ -189,8 +226,9 @@ class TileLayout {
   /// scatter).
   template <typename T>
   [[nodiscard]] Image<T> gather(const splitc::Spread<T>& in) const {
-    HISTCC_REQUIRE(in.per_proc() >= max_tile_size() && in.nprocs() == p_,
-                   "spread does not match layout");
+    HISTCC_REQUIRE(spread_fits(in),
+                   "spread does not fit layout (Spread '" + in.name() +
+                       "')");
     Image<T> image(height_, width_);
     for (std::uint32_t rank = 0; rank < p_; ++rank) {
       auto block = in.block(rank);

@@ -60,11 +60,13 @@ void parallel(splitc::Machine& machine, const img::TileLayout& layout,
               splitc::Spread<std::uint8_t>& tiles,
               splitc::Spread<std::uint8_t>& out, Structuring element) {
   HISTCC_REQUIRE(tiles.nprocs() == machine.nprocs() &&
-                     tiles.per_proc() >= layout.max_tile_size(),
-                 "tiles spread does not match layout");
+                     layout.spread_fits(tiles),
+                 "tiles spread does not fit layout (Spread '" +
+                     tiles.name() + "')");
   HISTCC_REQUIRE(out.nprocs() == machine.nprocs() &&
-                     out.per_proc() >= layout.max_tile_size(),
-                 "output spread does not match layout");
+                     layout.spread_fits(out),
+                 "output spread does not fit layout (Spread '" + out.name() +
+                     "')");
   const bool square = element == Structuring::kSquare;
   img::HaloExchanger halos(machine, layout);
 

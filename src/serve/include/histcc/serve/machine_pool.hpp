@@ -39,10 +39,15 @@ class MachinePool {
   ///                          ask for (power of two).
   /// \param machines_per_slot warm machines each slot caches (>= 1), one
   ///                          per distinct size, LRU-evicted.
+  /// \param spread_layout     allocation mode every pooled machine is
+  ///                          built with (packed by default; strided is
+  ///                          the differential oracle).
   // NOLINTNEXTLINE(bugprone-easily-swappable-parameters): declaration-only;
   // the definition checks the three independently (no joint expression).
   MachinePool(std::uint32_t slots, std::uint32_t max_procs,
-              std::uint32_t machines_per_slot = 1);
+              std::uint32_t machines_per_slot = 1,
+              splitc::SpreadLayout spread_layout =
+                  splitc::SpreadLayout::kPacked);
 
   MachinePool(const MachinePool&) = delete;
   MachinePool& operator=(const MachinePool&) = delete;
@@ -90,6 +95,10 @@ class MachinePool {
   [[nodiscard]] std::uint32_t machines_per_slot() const noexcept {
     return machines_per_slot_;
   }
+  /// Allocation mode pooled machines are built with.
+  [[nodiscard]] splitc::SpreadLayout spread_layout() const noexcept {
+    return spread_layout_;
+  }
 
   /// Machines constructed so far, first builds and rebuilds alike.  A
   /// steady workload converges: once every slot holds the sizes the mix
@@ -117,6 +126,7 @@ class MachinePool {
   std::vector<Slot> slots_;
   std::uint32_t max_procs_;
   std::uint32_t machines_per_slot_;
+  splitc::SpreadLayout spread_layout_;
   std::uint64_t built_ = 0;
   std::uint64_t tick_ = 0;  ///< LRU clock, bumped per acquire
 };

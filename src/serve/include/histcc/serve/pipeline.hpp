@@ -63,6 +63,10 @@ struct PipelineOptions {
   /// up to max_procs, so a mixed-width job mix stops rebuilding once each
   /// width has been seen.  1 = the original one-machine-per-slot mode.
   std::uint32_t machines_per_slot = 0;
+  /// Allocation mode for Spreads on the pooled machines (docs/layout.md).
+  /// Packed reclaims the ragged-layout padding; strided is the
+  /// differential oracle the tests compare against.
+  splitc::SpreadLayout spread_layout = splitc::SpreadLayout::kPacked;
   /// Test/instrumentation hook: when set, called on the pool worker
   /// immediately before every parallel execution.  Throwing from it
   /// exercises the degradation path; sleeping in it exercises deadlines.

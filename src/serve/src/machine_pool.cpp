@@ -8,9 +8,11 @@
 namespace histcc::serve {
 
 MachinePool::MachinePool(std::uint32_t slots, std::uint32_t max_procs,
-                         std::uint32_t machines_per_slot)
+                         std::uint32_t machines_per_slot,
+                         splitc::SpreadLayout spread_layout)
     : slots_(slots), max_procs_(max_procs),
-      machines_per_slot_(machines_per_slot) {
+      machines_per_slot_(machines_per_slot),
+      spread_layout_(spread_layout) {
   HISTCC_REQUIRE(slots >= 1, "pool needs at least one slot");
   HISTCC_REQUIRE(max_procs >= 1 && util::is_pow2(max_procs),
                  "max_procs must be a power of two");
@@ -70,6 +72,7 @@ MachinePool::Lease MachinePool::acquire(std::uint32_t procs) {
       if (!entry->machine) {
         entry->machine = std::make_unique<splitc::Machine>(
             procs, splitc::WorkerMode::kPersistent);
+        entry->machine->set_spread_layout(spread_layout_);
         built_ += 1;
       }
       entry->last_used = ++tick_;

@@ -28,7 +28,7 @@ img::GreyImage equalize_parallel_image(splitc::Machine& machine,
                                        std::uint32_t k) {
   const img::TileLayout layout(image.height(), image.width(),
                                machine.nprocs());
-  splitc::Spread<std::uint8_t> tiles(machine, layout.max_tile_size(),
+  splitc::Spread<std::uint8_t> tiles(machine, layout.tile_sizes(),
                                      "serve_eq_tiles");
   layout.scatter(image, tiles);
   hist::equalize_parallel(machine, layout, tiles, k);
@@ -42,10 +42,10 @@ std::vector<ccseq::ComponentStats> stats_parallel_image(
     const cc::CcOptions& options) {
   const img::TileLayout layout(image.height(), image.width(),
                                machine.nprocs());
-  splitc::Spread<std::uint8_t> tiles(machine, layout.max_tile_size(),
+  splitc::Spread<std::uint8_t> tiles(machine, layout.tile_sizes(),
                                      "serve_stats_tiles");
   layout.scatter(image, tiles);
-  splitc::Spread<std::uint32_t> labels(machine, layout.max_tile_size(),
+  splitc::Spread<std::uint32_t> labels(machine, layout.tile_sizes(),
                                        "serve_stats_labels");
   cc::connected_components_parallel(machine, layout, tiles, labels, options);
   return cc::component_stats_parallel(machine, layout, tiles, labels);
@@ -96,7 +96,7 @@ std::uint32_t resolve_machines_per_slot(const PipelineOptions& options) {
 Pipeline::Pipeline(PipelineOptions options)
     : options_(std::move(options)),
       pool_(options_.pool_size, options_.max_procs,
-            resolve_machines_per_slot(options_)),
+            resolve_machines_per_slot(options_), options_.spread_layout),
       queue_(std::make_unique<JobQueue<QueuedJob>>(options_.queue_capacity)) {
   workers_.reserve(options_.pool_size);
   for (std::uint32_t i = 0; i < options_.pool_size; ++i) {

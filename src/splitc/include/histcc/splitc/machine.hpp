@@ -59,6 +59,17 @@ enum class WorkerMode : std::uint8_t {
   kPersistent,
 };
 
+/// How Spread/SpreadVec size the per-rank blocks of layout-driven arrays
+/// (the constructors that take a per-rank size table).
+enum class SpreadLayout : std::uint8_t {
+  /// Every block padded to the largest requested size — a uniform stride,
+  /// the PR-5 contract.  Kept as the differential oracle for kPacked.
+  kStrided,
+  /// Each block sized exactly as requested; remote addressing becomes
+  /// non-uniform (prefix-sum offsets instead of rank * stride).  Default.
+  kPacked,
+};
+
 /// Per-processor handle passed to the SPMD program.  One `Proc` exists per
 /// virtual processor for the duration of `Machine::run`; all its methods
 /// are called only by that processor's thread.
@@ -228,6 +239,35 @@ class Machine {
   /// no-op in builds without HISTCC_RACE_LEDGER.  Not callable mid-run.
   void set_race_ledger_mode(LedgerMode mode);
 
+  /// How per-rank-sized Spreads allocate their blocks (default kPacked;
+  /// overridable at construction by the HISTCC_SPREAD_LAYOUT environment
+  /// variable, values "packed"/"strided").  Not callable mid-run: changing
+  /// the mode under live Spreads would desynchronize their geometry.
+  void set_spread_layout(SpreadLayout layout);
+
+  [[nodiscard]] SpreadLayout spread_layout() const noexcept {
+    return spread_layout_;
+  }
+
+  /// Spread/SpreadVec construction footprint since the last
+  /// reset_alloc_stats(): total payload bytes and number of arrays.
+  /// Deliberately *not* cleared by run()/reset_stats(), so a harness can
+  /// build arrays, run, and then read what the build cost.
+  void note_spread_alloc(std::uint64_t bytes) noexcept {
+    spread_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    spread_allocs_.fetch_add(1, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t spread_bytes_allocated() const noexcept {
+    return spread_bytes_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t spread_alloc_count() const noexcept {
+    return spread_allocs_.load(std::memory_order_relaxed);
+  }
+  void reset_alloc_stats() noexcept {
+    spread_bytes_.store(0, std::memory_order_relaxed);
+    spread_allocs_.store(0, std::memory_order_relaxed);
+  }
+
   /// Seeded schedule perturbation: every barrier() crossing first spends a
   /// per-rank pseudo-random delay (a few yields, or a sleep of up to ~128us)
   /// derived deterministically from `seed` and the rank.  Seed 0 turns
@@ -282,6 +322,9 @@ class Machine {
   std::unique_ptr<RaceLedger> race_ledger_;
   bool race_ledger_enabled_ = false;
   RacePolicy race_policy_ = RacePolicy::kThrow;
+  SpreadLayout spread_layout_ = SpreadLayout::kPacked;
+  std::atomic<std::uint64_t> spread_bytes_{0};
+  std::atomic<std::uint64_t> spread_allocs_{0};
   std::uint64_t perturb_seed_ = 0;
   bool running_ = false;
 

@@ -18,6 +18,7 @@
 /// phase's change arrays, whose sizes are data-dependent: the owner
 /// resizes its block, peers read it after the next barrier.
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -41,6 +42,21 @@ namespace detail {
 template <typename T>
 constexpr std::uint64_t words_per_element() noexcept {
   return (sizeof(T) + 3) / 4;
+}
+
+/// memcpy for the bulk-transfer paths.  Every call site REQUIREs
+/// len <= vector::size() <= max_size(), but GCC's range propagation only
+/// sees the size_t comparison and still explores a len ~ SIZE_MAX/sizeof(T)
+/// path, tripping -Wstringop-overflow / -Wrestrict on the byte count.  The
+/// explicit bound below is unreachable in practice and hands the optimizer
+/// the invariant the REQUIREs already guarantee.
+template <typename T>
+inline void raw_copy(T* dst, const T* src, std::size_t len) noexcept {
+  constexpr std::size_t kMaxLen =
+      static_cast<std::size_t>(std::numeric_limits<std::ptrdiff_t>::max()) /
+      sizeof(T);
+  if (len > kMaxLen) return;  // unreachable: callers bound len by a vector size
+  std::memcpy(dst, src, len * sizeof(T));
 }
 
 /// Shared race-ledger plumbing of Spread and SpreadVec.  In builds without
@@ -154,7 +170,7 @@ class Spread : public detail::ShadowBase {
  public:
   /// Allocate a block of `per_proc` elements on every processor,
   /// value-initialized.  `name` identifies the array in race-ledger
-  /// diagnostics.
+  /// diagnostics.  Uniform arrays are identical under both SpreadLayouts.
   Spread(Machine& machine, std::size_t per_proc,
          std::string_view name = "Spread")
       : detail::ShadowBase(machine, name),
@@ -162,10 +178,62 @@ class Spread : public detail::ShadowBase {
         per_proc_(per_proc),
         blocks_(nprocs_) {
     for (auto& b : blocks_) b.assign(per_proc_, T{});
+    machine.note_spread_alloc(footprint_bytes());
   }
 
+  /// Allocate `per_rank[r]` elements on processor r (value-initialized).
+  /// Under SpreadLayout::kPacked each block is exactly that size; under
+  /// kStrided every block is padded to max(per_rank) — the differential
+  /// oracle for the packed mode.  `per_proc()` reports the max either way,
+  /// so stride-based *capacity* reasoning stays valid; per-rank bounds are
+  /// what the accessors actually enforce.
+  Spread(Machine& machine, std::span<const std::size_t> per_rank,
+         std::string_view name = "Spread")
+      : detail::ShadowBase(machine, name),
+        nprocs_(machine.nprocs()),
+        blocks_(nprocs_) {
+    HISTCC_REQUIRE(per_rank.size() == nprocs_,
+                   "per-rank size table must have one entry per processor "
+                   "(Spread '" +
+                       name_ + "')");
+    for (std::size_t size : per_rank) per_proc_ = std::max(per_proc_, size);
+    for (std::uint32_t r = 0; r < nprocs_; ++r) {
+      const bool packed = machine.spread_layout() == SpreadLayout::kPacked;
+      blocks_[r].assign(packed ? per_rank[r] : per_proc_, T{});
+    }
+    machine.note_spread_alloc(footprint_bytes());
+  }
+
+  /// The uniform stride: the size of the *largest* block.  Every block
+  /// holds exactly this many elements under kStrided (and under the
+  /// uniform constructor); under kPacked it is an upper bound only — use
+  /// block_size() for the per-rank truth.
   [[nodiscard]] std::size_t per_proc() const noexcept { return per_proc_; }
   [[nodiscard]] std::uint32_t nprocs() const noexcept { return nprocs_; }
+
+  /// Elements actually allocated on processor `rank`.
+  [[nodiscard]] std::size_t block_size(std::uint32_t rank) const {
+    HISTCC_REQUIRE(rank < nprocs_,
+                   "rank out of range (Spread '" + name_ + "')");
+    return blocks_[rank].size();
+  }
+
+  /// The size of the *smallest* block — what a collective touching a fixed
+  /// prefix of every block must bound its count by.
+  [[nodiscard]] std::size_t min_per_proc() const noexcept {
+    // Start from the max: every block is <= per_proc_, so this is exact
+    // (and keeps the result bounded on every path the optimizer explores).
+    std::size_t mn = per_proc_;
+    for (const auto& b : blocks_) mn = std::min(mn, b.size());
+    return mn;
+  }
+
+  /// Total payload bytes across all blocks (excludes shadow/bookkeeping).
+  [[nodiscard]] std::size_t footprint_bytes() const noexcept {
+    std::size_t total = 0;
+    for (const auto& b : blocks_) total += b.size() * sizeof(T);
+    return total;
+  }
 
   /// The calling processor's own block; local access, never metered.
   [[nodiscard]] std::span<T> local(const Proc& self) noexcept {
@@ -181,13 +249,15 @@ class Spread : public detail::ShadowBase {
   /// of the whole block (a const probe as a host read), so an un-barriered
   /// host peek at in-flight data is diagnosed like any other race.
   [[nodiscard]] std::span<T> block(std::uint32_t rank) {
-    HISTCC_REQUIRE(rank < nprocs_, "rank out of range");
-    record_host(rank, 0, per_proc_, RaceAccess::kWrite);
+    HISTCC_REQUIRE(rank < nprocs_,
+                   "rank out of range (Spread '" + name_ + "')");
+    record_host(rank, 0, blocks_[rank].size(), RaceAccess::kWrite);
     return std::span<T>(blocks_[rank]);
   }
   [[nodiscard]] std::span<const T> block(std::uint32_t rank) const {
-    HISTCC_REQUIRE(rank < nprocs_, "rank out of range");
-    const_cast<Spread*>(this)->record_host(rank, 0, per_proc_,
+    HISTCC_REQUIRE(rank < nprocs_,
+                   "rank out of range (Spread '" + name_ + "')");
+    const_cast<Spread*>(this)->record_host(rank, 0, blocks_[rank].size(),
                                            RaceAccess::kRead);
     return std::span<const T>(blocks_[rank]);
   }
@@ -198,13 +268,18 @@ class Spread : public detail::ShadowBase {
   /// local.  Completion is guaranteed after self.sync().
   void prefetch(Proc& self, std::span<T> dst, std::uint32_t src_rank,
                 std::size_t src_off, std::size_t len) {
-    HISTCC_REQUIRE(src_rank < nprocs_, "source rank out of range");
-    HISTCC_REQUIRE(src_off + len <= per_proc_, "source range out of bounds");
-    HISTCC_REQUIRE(dst.size() >= len, "destination too small");
+    HISTCC_REQUIRE(src_rank < nprocs_,
+                   "source rank out of range (Spread '" + name_ + "')");
+    // Overflow-safe form of src_off + len <= size (also hands the
+    // optimizer a hard bound on the memcpy length).
+    const std::size_t src_size = blocks_[src_rank].size();
+    HISTCC_REQUIRE(src_off <= src_size && len <= src_size - src_off,
+                   "source range out of bounds (Spread '" + name_ + "')");
+    HISTCC_REQUIRE(dst.size() >= len,
+                   "destination too small (Spread '" + name_ + "')");
     if (len == 0) return;
     record(self, src_rank, src_off, len, RaceAccess::kRead);
-    std::memcpy(dst.data(), blocks_[src_rank].data() + src_off,
-                len * sizeof(T));
+    detail::raw_copy(dst.data(), blocks_[src_rank].data() + src_off, len);
     if (src_rank != self.rank()) {
       self.charge_transfer(src_rank, len * detail::words_per_element<T>());
     }
@@ -215,13 +290,16 @@ class Spread : public detail::ShadowBase {
   /// the sense of the algorithms' barrier discipline (no concurrent writer).
   void put_block(Proc& self, std::uint32_t dst_rank, std::size_t dst_off,
                  std::span<const T> src) {
-    HISTCC_REQUIRE(dst_rank < nprocs_, "destination rank out of range");
-    HISTCC_REQUIRE(dst_off + src.size() <= per_proc_,
-                   "destination range out of bounds");
+    HISTCC_REQUIRE(dst_rank < nprocs_,
+                   "destination rank out of range (Spread '" + name_ + "')");
+    const std::size_t dst_size = blocks_[dst_rank].size();
+    HISTCC_REQUIRE(dst_off <= dst_size && src.size() <= dst_size - dst_off,
+                   "destination range out of bounds (Spread '" + name_ +
+                       "')");
     if (src.empty()) return;
     record(self, dst_rank, dst_off, src.size(), RaceAccess::kWrite);
-    std::memcpy(blocks_[dst_rank].data() + dst_off, src.data(),
-                src.size() * sizeof(T));
+    detail::raw_copy(blocks_[dst_rank].data() + dst_off, src.data(),
+                     src.size());
     if (dst_rank != self.rank()) {
       self.charge_transfer(dst_rank, src.size() * detail::words_per_element<T>());
     }
@@ -229,8 +307,10 @@ class Spread : public detail::ShadowBase {
 
   /// Single-element remote read (costs tau + 1 unless batched).
   [[nodiscard]] T get(Proc& self, std::uint32_t rank, std::size_t off) {
-    HISTCC_REQUIRE(rank < nprocs_, "rank out of range");
-    HISTCC_REQUIRE(off < per_proc_, "offset out of bounds");
+    HISTCC_REQUIRE(rank < nprocs_,
+                   "rank out of range (Spread '" + name_ + "')");
+    HISTCC_REQUIRE(off < blocks_[rank].size(),
+                   "offset out of bounds (Spread '" + name_ + "')");
     record(self, rank, off, 1, RaceAccess::kRead);
     if (rank != self.rank()) {
       self.charge_transfer(rank, detail::words_per_element<T>());
@@ -240,8 +320,10 @@ class Spread : public detail::ShadowBase {
 
   /// Single-element remote write.
   void put(Proc& self, std::uint32_t rank, std::size_t off, T value) {
-    HISTCC_REQUIRE(rank < nprocs_, "rank out of range");
-    HISTCC_REQUIRE(off < per_proc_, "offset out of bounds");
+    HISTCC_REQUIRE(rank < nprocs_,
+                   "rank out of range (Spread '" + name_ + "')");
+    HISTCC_REQUIRE(off < blocks_[rank].size(),
+                   "offset out of bounds (Spread '" + name_ + "')");
     record(self, rank, off, 1, RaceAccess::kWrite);
     if (rank != self.rank()) {
       self.charge_transfer(rank, detail::words_per_element<T>());
@@ -255,9 +337,13 @@ class Spread : public detail::ShadowBase {
   /// the barrier that publishes them.  No-op without HISTCC_RACE_LEDGER.
   void note_local_write(Proc& self, std::size_t off = 0,
                         std::size_t len = kWholeBlock) {
-    HISTCC_REQUIRE(off <= per_proc_, "annotation offset out of bounds");
-    if (len == kWholeBlock) len = per_proc_ - off;
-    HISTCC_REQUIRE(off + len <= per_proc_, "annotation range out of bounds");
+    const std::size_t size = blocks_[self.rank()].size();
+    HISTCC_REQUIRE(off <= size,
+                   "annotation offset out of bounds (Spread '" + name_ +
+                       "')");
+    if (len == kWholeBlock) len = size - off;
+    HISTCC_REQUIRE(off + len <= size,
+                   "annotation range out of bounds (Spread '" + name_ + "')");
     record(self, self.rank(), off, len, RaceAccess::kWrite);
   }
 
@@ -265,15 +351,19 @@ class Spread : public detail::ShadowBase {
   /// one's own data races only with a remote put in the same epoch).
   void note_local_read(Proc& self, std::size_t off = 0,
                        std::size_t len = kWholeBlock) {
-    HISTCC_REQUIRE(off <= per_proc_, "annotation offset out of bounds");
-    if (len == kWholeBlock) len = per_proc_ - off;
-    HISTCC_REQUIRE(off + len <= per_proc_, "annotation range out of bounds");
+    const std::size_t size = blocks_[self.rank()].size();
+    HISTCC_REQUIRE(off <= size,
+                   "annotation offset out of bounds (Spread '" + name_ +
+                       "')");
+    if (len == kWholeBlock) len = size - off;
+    HISTCC_REQUIRE(off + len <= size,
+                   "annotation range out of bounds (Spread '" + name_ + "')");
     record(self, self.rank(), off, len, RaceAccess::kRead);
   }
 
  private:
   std::uint32_t nprocs_;
-  std::size_t per_proc_;
+  std::size_t per_proc_ = 0;
   std::vector<std::vector<T>> blocks_;
 };
 
@@ -286,10 +376,22 @@ class SpreadVec : public detail::ShadowBase {
 
  public:
   explicit SpreadVec(Machine& machine, std::string_view name = "SpreadVec")
-      : detail::ShadowBase(machine, name), blocks_(machine.nprocs()) {}
+      : detail::ShadowBase(machine, name), blocks_(machine.nprocs()) {
+    // Starts empty; counted so the alloc counter sees every distributed
+    // array, not just the fixed-size ones.
+    machine.note_spread_alloc(0);
+  }
 
   [[nodiscard]] std::uint32_t nprocs() const noexcept {
     return static_cast<std::uint32_t>(blocks_.size());
+  }
+
+  /// Current total payload bytes across all blocks.  Unlike Spread this is
+  /// a moving target (owners resize); meaningful between runs.
+  [[nodiscard]] std::size_t footprint_bytes() const noexcept {
+    std::size_t total = 0;
+    for (const auto& b : blocks_) total += b.size() * sizeof(T);
+    return total;
   }
 
   /// The calling processor's own vector (resizable).
@@ -334,8 +436,7 @@ class SpreadVec : public detail::ShadowBase {
     HISTCC_REQUIRE(dst.size() >= len, "destination too small");
     if (len == 0) return;
     record(self, src_rank, src_off, len, RaceAccess::kRead);
-    std::memcpy(dst.data(), blocks_[src_rank].data() + src_off,
-                len * sizeof(T));
+    detail::raw_copy(dst.data(), blocks_[src_rank].data() + src_off, len);
     if (src_rank != self.rank()) {
       self.charge_transfer(src_rank, len * detail::words_per_element<T>());
     }

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <exception>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <utility>
 
@@ -63,10 +65,23 @@ Machine::Machine(std::uint32_t nprocs, WorkerMode mode)
   race_ledger_ = std::make_unique<RaceLedger>(nprocs);
   race_ledger_enabled_ = true;
 #endif
+  // CI and test harnesses force a mode for the whole process without
+  // touching call sites; anything other than the two known values keeps
+  // the built-in default.
+  if (const char* env = std::getenv("HISTCC_SPREAD_LAYOUT")) {
+    const std::string_view v(env);
+    if (v == "strided") spread_layout_ = SpreadLayout::kStrided;
+    else if (v == "packed") spread_layout_ = SpreadLayout::kPacked;
+  }
   reset_stats();
 }
 
 Machine::~Machine() { stop_workers(); }
+
+void Machine::set_spread_layout(SpreadLayout layout) {
+  HISTCC_REQUIRE(!running_, "cannot switch spread layout mid-run");
+  spread_layout_ = layout;
+}
 
 void Machine::set_race_ledger_mode(LedgerMode mode) {
   HISTCC_REQUIRE(!running_, "cannot switch ledger mode mid-run");

@@ -38,6 +38,54 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(2u, 8u, 32u),    // p
                        ::testing::Values(4, 8)));         // connectivity
 
+// ---- Ragged-shape agreement under both Spread allocation modes: H x W
+// drawn from a seeded splitmix stream (no square bias, dimensions logged
+// so a failure is reproducible from the seed alone), every labeler
+// compared against BFS, and the parallel labeler run under kPacked AND
+// kStrided so the differential guarantee extends to random shapes.
+TEST_P(LabelerAgreement, RaggedShapesBothAllocationModes) {
+  const auto [n, k, p, conn_int] = GetParam();
+  const auto conn = static_cast<ccseq::Connectivity>(conn_int);
+  const auto rule =
+      k == 2 ? ccseq::ColourRule::kBinary : ccseq::ColourRule::kSameColour;
+
+  const std::uint32_t seed = 90210 + n * 131 + k * 17 + p * 3 +
+                             static_cast<std::uint32_t>(conn_int);
+  std::uint64_t state = seed;
+  auto next = [&state] {
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  };
+  const auto h = static_cast<std::uint32_t>(1 + next() % (2 * n));
+  const auto w = static_cast<std::uint32_t>(1 + next() % (2 * n));
+  SCOPED_TRACE("seed=" + std::to_string(seed) + " shape=" +
+               std::to_string(h) + "x" + std::to_string(w) + " p=" +
+               std::to_string(p));
+
+  img::GreyImage image(h, w);
+  for (auto& px : image.pixels()) {
+    px = static_cast<std::uint8_t>(next() % k);
+  }
+
+  const auto bfs = ccseq::label_components_bfs(image, conn, rule);
+  EXPECT_EQ(bfs, ccseq::label_components_unionfind(image, conn, rule));
+  EXPECT_EQ(bfs, ccseq::label_components_hoshen_kopelman(image, conn, rule));
+
+  cc::CcOptions options;
+  options.connectivity = conn;
+  options.rule = rule;
+  for (const auto mode :
+       {splitc::SpreadLayout::kPacked, splitc::SpreadLayout::kStrided}) {
+    splitc::Machine machine(p);
+    machine.set_spread_layout(mode);
+    EXPECT_EQ(bfs, cc::connected_components_parallel(machine, image, options))
+        << (mode == splitc::SpreadLayout::kPacked ? "packed" : "strided");
+  }
+}
+
 // ---- Determinism: re-running the same parallel program must produce the
 // same labels AND the same communication ledger, regardless of thread
 // interleaving.

@@ -42,7 +42,9 @@ class Args {
       }
       key = key.substr(2);
       if (is_switch(key)) {
-        values_[key] = "1";
+        // std::string(1, '1') rather than = "1": the const char* assignment
+        // path trips GCC 12's -Wrestrict false positive (PR105329).
+        values_[key] = std::string(1, '1');
       } else if (i + 1 < argc) {
         values_[key] = argv[++i];
       } else {
@@ -231,7 +233,7 @@ int cmd_equalize(const Args& args) {
   const std::uint32_t p = args.get_u32("p", 16);
   splitc::Machine machine(p);
   const img::TileLayout layout(image.height(), image.width(), p);
-  splitc::Spread<std::uint8_t> tiles(machine, layout.max_tile_size());
+  splitc::Spread<std::uint8_t> tiles(machine, layout.tile_sizes());
   layout.scatter(image, tiles);
   hist::equalize_parallel(machine, layout, tiles, k);
   img::write_pgm_file(args.require("out"), layout.gather(tiles));
@@ -256,8 +258,8 @@ int cmd_morph(const Args& args) {
     // Single-step operations run on the virtual machine.
     splitc::Machine machine(p);
     const img::TileLayout layout(image.height(), image.width(), p);
-    splitc::Spread<std::uint8_t> tiles(machine, layout.max_tile_size());
-    splitc::Spread<std::uint8_t> out(machine, layout.max_tile_size());
+    splitc::Spread<std::uint8_t> tiles(machine, layout.tile_sizes());
+    splitc::Spread<std::uint8_t> out(machine, layout.tile_sizes());
     layout.scatter(image, tiles);
     if (op == "erode") {
       morph::erode_parallel(machine, layout, tiles, out, element);
