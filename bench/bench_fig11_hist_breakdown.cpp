@@ -2,7 +2,18 @@
 // time, for 32-colour and 256-colour images, as a function of image size.
 // The paper's claim: communication is independent of n (it depends only on
 // k and p), so computation dominates for large images.
+//
+// Besides the modeled comp/comm split, each k gets a per-step breakdown
+// taken from live trace spans (histcc::trace): the steps are exactly
+// hist::kHistStepSpans — the same names the kernel's TRACE_SCOPE sites
+// record and the trace tests assert on — so this table and a captured
+// trace.json always agree on what the algorithm's steps are.
 #include "bench_util.hpp"
+
+#include <algorithm>
+
+#include "histcc/trace/export.hpp"
+#include "histcc/trace/trace.hpp"
 
 int main() {
   using namespace histcc;
@@ -25,6 +36,32 @@ int main() {
       std::printf("%8u | %12.3fms %12.3fms | %10llu\n", n,
                   modeled.comp_s * 1e3, modeled.comm_s * 1e3,
                   static_cast<unsigned long long>(machine.max_stats().words));
+    }
+    bench::rule();
+
+    // Per-step breakdown from one traced run at n = 512.
+    const std::uint32_t n = 512;
+    trace::Tracer tracer;
+    const auto image = img::make_random_grey(n, k, n + k);
+    splitc::Machine machine(p);
+    machine.set_trace(&tracer);
+    (void)hist::histogram_parallel(machine, image, k);
+    const auto rows = trace::phase_breakdown(tracer, profile);
+    std::printf("per-step breakdown, live trace spans (n = %u):\n", n);
+    std::printf("%16s | %10s %10s | %12s\n", "step", "wall ms", "words",
+                "modeled ms");
+    for (const char* step : hist::kHistStepSpans) {
+      const auto it =
+          std::find_if(rows.begin(), rows.end(), [&](const auto& row) {
+            return row.name == step;
+          });
+      if (it == rows.end()) {
+        std::printf("%16s | %10s %10s | %12s\n", step, "-", "-", "-");
+        continue;
+      }
+      std::printf("%16s | %10.3f %10llu | %12.4f\n", step, it->wall_s * 1e3,
+                  static_cast<unsigned long long>(it->words),
+                  it->modeled_comm_s * 1e3);
     }
     bench::rule();
     std::printf("\n");

@@ -12,7 +12,11 @@
 #include <benchmark/benchmark.h>
 #include <bit>
 #include <cstdlib>
+#include <string>
 #include <thread>
+
+#include "histcc/trace/export.hpp"
+#include "histcc/trace/trace.hpp"
 
 namespace {
 
@@ -32,19 +36,30 @@ void report(bench::JsonReport& json, const std::string& name,
 int main(int argc, char** argv) {
   const std::uint32_t hw =
       std::max(1u, std::thread::hardware_concurrency());
-  // Optional argv[1]: virtual-machine size (power of two).  Lets the race
-  // ledger's instrumented-vs-plain overhead be measured at a fixed p
-  // regardless of the host's core count.
+  // Optional positional arg: virtual-machine size (power of two).  Lets
+  // the race ledger's instrumented-vs-plain overhead be measured at a
+  // fixed p regardless of the host's core count.  `--trace OUT` attaches
+  // a tracer to every machine and writes a Chrome/Perfetto trace to OUT.
   std::uint32_t p = std::bit_floor(hw);
-  if (argc > 1) {
-    const long requested = std::strtol(argv[1], nullptr, 10);
+  std::string trace_path;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--trace" && a + 1 < argc) {
+      trace_path = argv[++a];
+      continue;
+    }
+    const long requested = std::strtol(arg.c_str(), nullptr, 10);
     if (requested < 1 || std::bit_floor(static_cast<std::uint32_t>(
                              requested)) != requested) {
-      std::fprintf(stderr, "usage: %s [p]   (p a power of two)\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [p] [--trace OUT.json]   (p a power "
+                           "of two)\n",
+                   argv[0]);
       return 2;
     }
     p = static_cast<std::uint32_t>(requested);
   }
+  trace::Tracer tracer;
+  trace::Tracer* const trace_sink = trace_path.empty() ? nullptr : &tracer;
   std::printf("Host comparison — wall-clock on this machine (%u hardware "
               "threads, virtual machine p = %u)\n\n",
               hw, p);
@@ -53,6 +68,7 @@ int main(int argc, char** argv) {
   for (const std::uint32_t n : {256u, 512u, 1024u}) {
     const auto scene = img::make_darpa_like(n);
     splitc::Machine machine(p);
+    machine.set_trace(trace_sink);
     cc::CcOptions options;
     options.rule = ccseq::ColourRule::kSameColour;
 
@@ -86,6 +102,7 @@ int main(int argc, char** argv) {
   for (const std::uint32_t n : {512u, 1024u}) {
     const auto image = img::make_random_grey(n, 256, n);
     splitc::Machine machine(p);
+    machine.set_trace(trace_sink);
     const auto seq = bench::sample(3, [&] {
       benchmark::DoNotOptimize(hist::histogram_seq(image, 256));
     });
@@ -130,6 +147,7 @@ int main(int argc, char** argv) {
                             splitc::SpreadLayout::kPacked}) {
       const bool packed = mode == splitc::SpreadLayout::kPacked;
       splitc::Machine machine(p);
+      machine.set_trace(trace_sink);
       machine.set_spread_layout(mode);
       cc::CcOptions options;
       machine.reset_alloc_stats();
@@ -162,6 +180,14 @@ int main(int argc, char** argv) {
 
   if (json.write()) {
     std::printf("machine-readable results: %s\n\n", json.path().c_str());
+  }
+  if (trace_sink != nullptr) {
+    if (trace::write_chrome_json(*trace_sink, trace_path)) {
+      std::printf("trace written: %s\n\n", trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write trace %s\n", trace_path.c_str());
+      return 1;
+    }
   }
   std::printf("note: the virtual machine exists to reproduce the paper's "
               "distributed\nexecution and cost model, not to win wall-clock "

@@ -24,8 +24,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "histcc/trace/export.hpp"
+#include "histcc/trace/trace.hpp"
 
 namespace {
 
@@ -56,7 +60,8 @@ struct LoadResult {
 /// through three mixed-aspect job kinds so the ragged layout's routing
 /// exercises several machine widths at once.
 LoadResult run_closed_loop(std::uint32_t pool_size, int submitters,
-                           int jobs_per_submitter) {
+                           int jobs_per_submitter,
+                           trace::Tracer* trace_sink) {
   // 512x256 -> p=16, 128x128 -> p=4, 320x240 -> p=16; nothing square
   // about the mix is required any more (docs/layout.md).
   const auto grey_wide = make_shape_grey(512, 256, 16, 17);
@@ -66,6 +71,7 @@ LoadResult run_closed_loop(std::uint32_t pool_size, int submitters,
   serve::PipelineOptions options;
   options.pool_size = pool_size;
   options.max_procs = 16;
+  options.trace = trace_sink;
   serve::Pipeline pipeline(options);
 
   std::atomic<std::uint64_t> ok{0};
@@ -95,7 +101,23 @@ LoadResult run_closed_loop(std::uint32_t pool_size, int submitters,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // `--trace OUT` attaches one tracer to every pipeline in the scaling
+  // experiment (per-job serve spans + kernel phases on the leased
+  // machines) and writes a Chrome/Perfetto trace to OUT at the end.
+  std::string trace_path;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--trace" && a + 1 < argc) {
+      trace_path = argv[++a];
+      continue;
+    }
+    std::fprintf(stderr, "usage: %s [--trace OUT.json]\n", argv[0]);
+    return 2;
+  }
+  trace::Tracer tracer;
+  trace::Tracer* const trace_sink = trace_path.empty() ? nullptr : &tracer;
+
   bench::JsonReport json("pipeline");
   std::printf("Serving pipeline — closed-loop load on this host (%u "
               "hardware threads)\n\n",
@@ -111,7 +133,7 @@ int main() {
   for (const std::uint32_t pool_size : {1u, 2u, 4u}) {
     const int submitters = static_cast<int>(pool_size) * 2;
     const auto r =
-        run_closed_loop(pool_size, submitters, kJobsPerSubmitter);
+        run_closed_loop(pool_size, submitters, kJobsPerSubmitter, trace_sink);
     const auto total =
         static_cast<std::uint64_t>(submitters) * kJobsPerSubmitter;
     const double jobs_per_s = static_cast<double>(r.jobs) / r.wall_s;
@@ -240,6 +262,14 @@ int main() {
 
   if (json.write()) {
     std::printf("\nmachine-readable results: %s\n", json.path().c_str());
+  }
+  if (trace_sink != nullptr) {
+    if (trace::write_chrome_json(*trace_sink, trace_path)) {
+      std::printf("trace written: %s\n", trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write trace %s\n", trace_path.c_str());
+      return 1;
+    }
   }
   return 0;
 }

@@ -48,6 +48,7 @@ void reduce_to_root(splitc::Proc& self, splitc::Spread<T>& dst,
                  "reduce_to_root: destination block too small on root "
                  "(Spread '" +
                      dst.name() + "')");
+  TRACE_SCOPE(self, "bdm/reduce_to_root");
   self.barrier();  // publish src
   if (self.rank() == root) {
     auto acc = dst.local(self);
@@ -85,6 +86,7 @@ void allreduce(splitc::Proc& self, splitc::Spread<T>& dst,
                      scratch.name() + "')");
   const std::size_t blk = count / p;
   const std::uint32_t i = self.rank();
+  TRACE_SCOPE(self, "bdm/allreduce");
 
   // Phase 1 (transpose-shaped): I combine slice i of every processor's
   // block into my block of `scratch`.
@@ -128,6 +130,7 @@ T exscan(splitc::Proc& self, splitc::Spread<T>& slots, T my_value, Op op) {
   HISTCC_REQUIRE(slots.min_per_proc() >= 1,
                  "exscan: spread blocks too small (Spread '" + slots.name() +
                      "')");
+  TRACE_SCOPE(self, "bdm/exscan");
   slots.local(self)[0] = my_value;
   slots.note_local_write(self, 0, 1);  // race-ledger epoch annotation
   self.barrier();  // publish values
@@ -146,6 +149,7 @@ T exscan(splitc::Proc& self, splitc::Spread<T>& slots, T my_value, Op op) {
 template <typename T>
 void all_to_all(splitc::Proc& self, splitc::Spread<T>& dst,
                 splitc::Spread<T>& src, std::size_t slice) {
+  TRACE_SCOPE(self, "bdm/all_to_all");
   transpose(self, dst, src, static_cast<std::size_t>(self.nprocs()) * slice);
 }
 

@@ -31,6 +31,7 @@
 
 #include "histcc/splitc/machine.hpp"
 #include "histcc/splitc/spread.hpp"
+#include "histcc/trace/trace.hpp"
 #include "histcc/util/math.hpp"
 #include "histcc/util/require.hpp"
 
@@ -56,6 +57,7 @@ void transpose(splitc::Proc& self, splitc::Spread<T>& dst,
                      dst.name() + "')");
   const std::size_t blk = q / p;
   const std::uint32_t i = self.rank();
+  TRACE_SCOPE(self, "bdm/transpose");
 
   self.barrier();  // publish src
   auto mine = dst.local(self);
@@ -90,6 +92,7 @@ void truncated_transpose(splitc::Proc& self, splitc::Spread<T>& dst,
                        dst.name() + "')");
   }
   const std::uint32_t i = self.rank();
+  TRACE_SCOPE(self, "bdm/truncated_transpose");
 
   self.barrier();  // publish src
   if (i < k) {
@@ -129,6 +132,7 @@ void broadcast(splitc::Proc& self, splitc::Spread<T>& dst,
                      scratch.name() + "')");
   const std::size_t blk = q / p;
   const std::uint32_t i = self.rank();
+  TRACE_SCOPE(self, "bdm/broadcast");
 
   // Step 1-2: full matrix transposition (includes the barrier publishing
   // src).  scratch[i][0 .. blk) now holds src[0][i*blk .. (i+1)*blk).
@@ -176,6 +180,7 @@ void gather_to_root(splitc::Proc& self, splitc::Spread<T>& dst,
                  "(Spread '" +
                      dst.name() + "')");
 
+  TRACE_SCOPE(self, "bdm/gather_to_root");
   self.barrier();  // publish src
   if (self.rank() == root) {
     auto mine = dst.local(self);
@@ -206,6 +211,7 @@ std::size_t scatter_group(splitc::Proc& self,
   const std::size_t f = members.size();
   HISTCC_REQUIRE(f >= 1 && my_index < f && root_index < f,
                  "bad group description");
+  TRACE_SCOPE(self, "bdm/scatter_group");
   const std::uint32_t root = members[root_index];
   const std::size_t c = data.size_of(self, root);
   const std::size_t base = c / f;
@@ -234,6 +240,7 @@ void allgather_group(splitc::Proc& self,
                      splitc::SpreadVec<T>& stage, std::vector<T>& out) {
   const std::size_t f = members.size();
   HISTCC_REQUIRE(f >= 1 && my_index < f, "bad group description");
+  TRACE_SCOPE(self, "bdm/allgather_group");
   const std::size_t base = total / f;
   const std::size_t extra = total % f;
   out.resize(total);

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "histcc/cc_seq/bfs_label.hpp"
+#include "histcc/trace/trace.hpp"
 #include "histcc/util/require.hpp"
 
 namespace histcc::cc {
@@ -65,6 +66,7 @@ img::LabelImage connected_components_label_prop(splitc::Machine& machine,
     std::vector<std::uint32_t> comp_id(layout.tile_size(rank));
     std::vector<std::uint32_t> comp_labels;
     if (nonempty) {
+      TRACE_SCOPE(self, "cc/prop_init");
       ccseq::BfsScratch scratch;
       std::uint32_t next_id = 0;
       ccseq::label_tile(
@@ -94,6 +96,7 @@ img::LabelImage connected_components_label_prop(splitc::Machine& machine,
     const bool same_colour = rule == ccseq::ColourRule::kSameColour;
 
     for (;;) {
+      TRACE_SCOPE(self, "cc/prop_round");
       // Step 1: pack my four border lines with current labels (empty tiles
       // have no lines to publish but still join every barrier below).
       if (nonempty) {

@@ -57,6 +57,8 @@
 #include "histcc/splitc/machine.hpp"
 #include "histcc/splitc/profile.hpp"
 #include "histcc/splitc/spread.hpp"
+#include "histcc/trace/export.hpp"
+#include "histcc/trace/trace.hpp"
 #include "histcc/util/math.hpp"
 #include "histcc/util/rng.hpp"
 #include "histcc/util/timer.hpp"

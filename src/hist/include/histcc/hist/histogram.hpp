@@ -20,6 +20,7 @@
 /// Counts are 32-bit: the largest image the paper uses (4096 x 4096) has
 /// n^2 = 2^24 pixels, far below 2^32.
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -39,6 +40,13 @@ struct HistPhases {
   double combine_s = 0;    ///< local combining (computation)
   double gather_s = 0;     ///< circular collection onto P0 (communication)
 };
+
+/// Trace span names of the four steps, in execution order — the single
+/// source of truth shared by the kernel's TRACE_SCOPE sites, the
+/// Fig. 11 bench's step table, and the trace tests, so the live trace
+/// breakdown and the bench report always list the same steps.
+inline constexpr std::array<const char*, 4> kHistStepSpans = {
+    "hist/tally", "hist/transpose", "hist/combine", "hist/gather"};
 
 /// One-pass sequential histogram; the baseline for efficiency numbers.
 /// k must be a power of two in [2, 256]; every pixel must be < k.

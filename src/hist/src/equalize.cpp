@@ -4,6 +4,7 @@
 
 #include "histcc/bdm/primitives.hpp"
 #include "histcc/hist/histogram.hpp"
+#include "histcc/trace/trace.hpp"
 #include "histcc/util/require.hpp"
 
 namespace histcc::hist {
@@ -60,6 +61,7 @@ void equalize_parallel(splitc::Machine& machine, const img::TileLayout& layout,
   std::copy(map.begin(), map.end(), table_src.block(0).begin());
 
   machine.run([&](splitc::Proc& self) {
+    TRACE_SCOPE(self, "hist/equalize_remap");
     bdm::broadcast(self, table, table_src, scratch, k);
     auto my_map = table.local(self);
     auto px = tiles.local(self);

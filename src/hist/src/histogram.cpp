@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "histcc/bdm/primitives.hpp"
+#include "histcc/trace/trace.hpp"
 #include "histcc/util/math.hpp"
 #include "histcc/util/require.hpp"
 #include "histcc/util/timer.hpp"
@@ -60,6 +61,7 @@ std::vector<std::uint32_t> histogram_parallel(splitc::Machine& machine,
 
     // Step 1: tally my tile.  O(n^2 / p) local work.
     {
+      TRACE_SCOPE(self, kHistStepSpans[0]);
       auto h = local_h.local(self);
       auto px = tiles.local(self);
       const std::size_t count = layout.tile_size(self.rank());
@@ -78,17 +80,20 @@ std::vector<std::uint32_t> histogram_parallel(splitc::Machine& machine,
     // Step 2: rearrange tallies so each grey level's partial counts share a
     // processor.
     timer.reset();
-    if (k >= p) {
-      bdm::transpose(self, trans, local_h, k);
-    } else {
-      bdm::truncated_transpose(self, trans, local_h, k);
+    TRACE_SPAN(self, kHistStepSpans[1]) {
+      if (k >= p) {
+        bdm::transpose(self, trans, local_h, k);
+      } else {
+        bdm::truncated_transpose(self, trans, local_h, k);
+      }
+      self.barrier();
     }
-    self.barrier();
     if (timing) local_phases.transpose_s = timer.seconds();
 
     // Step 3: combine partial counts locally.  O(k) per processor.
     timer.reset();
     {
+      TRACE_SCOPE(self, kHistStepSpans[2]);
       auto in = trans.local(self);
       auto out = combined.local(self);
       if (k >= p) {
@@ -116,8 +121,11 @@ std::vector<std::uint32_t> histogram_parallel(splitc::Machine& machine,
     // Step 4: P0 collects the k bars with a circular prefetch.
     timer.reset();
     const std::uint32_t nblocks = k >= p ? p : k;
-    bdm::gather_to_root(self, result, combined, bars_per_proc, 0, 0, nblocks);
-    self.barrier();
+    TRACE_SPAN(self, kHistStepSpans[3]) {
+      bdm::gather_to_root(self, result, combined, bars_per_proc, 0, 0,
+                          nblocks);
+      self.barrier();
+    }
     if (timing) local_phases.gather_s = timer.seconds();
   });
 

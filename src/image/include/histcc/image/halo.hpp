@@ -26,6 +26,7 @@
 #include "histcc/image/layout.hpp"
 #include "histcc/splitc/machine.hpp"
 #include "histcc/splitc/spread.hpp"
+#include "histcc/trace/trace.hpp"
 
 namespace histcc::img {
 
@@ -54,6 +55,7 @@ class HaloExchangerT {
   /// edge).  Collective — every rank calls, including empty tiles.
   void exchange(splitc::Proc& self, splitc::Spread<T>& tiles,
                 std::vector<T>& halo) {
+    TRACE_SCOPE(self, "img/halo_exchange");
     const std::uint32_t rank = self.rank();
     const std::uint32_t q = layout_.tile_rows(rank);
     const std::uint32_t r = layout_.tile_cols(rank);

@@ -78,6 +78,12 @@ class MetricsRecorder {
   /// processing (`wall_s` = queue + run).
   void on_finish(JobStatus status, double wall_s, double run_s) noexcept;
 
+  /// Live value of the in-flight gauge (jobs between dequeue and finish);
+  /// the trace-counter bridge samples it without assembling a snapshot.
+  [[nodiscard]] std::uint32_t in_flight() const noexcept {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+
   /// Assemble a snapshot; the gauges owned by the pipeline (queue depth)
   /// and pool (size, builds) are passed in.
   [[nodiscard]] PoolMetrics snapshot(std::size_t queue_depth,

@@ -44,6 +44,10 @@
 #include "histcc/serve/machine_pool.hpp"
 #include "histcc/serve/metrics.hpp"
 
+namespace histcc::trace {
+class Tracer;
+}  // namespace histcc::trace
+
 namespace histcc::serve {
 
 /// Pipeline-wide configuration (per-job knobs live in JobOptions).
@@ -71,6 +75,13 @@ struct PipelineOptions {
   /// immediately before every parallel execution.  Throwing from it
   /// exercises the degradation path; sleeping in it exercises deadlines.
   std::function<void()> before_parallel{};
+  /// Span/counter sink (docs/tracing.md): per-job queue/lease/run/degrade
+  /// spans on the worker's track, queue-depth and in-flight counter
+  /// samples, and attachment of the tracer to every leased machine so
+  /// kernel phases land in the same trace.  nullptr falls back to
+  /// `trace::env_tracer()` (the HISTCC_TRACE environment variable), which
+  /// is itself null when tracing was not requested.
+  trace::Tracer* trace = nullptr;
 };
 
 /// The virtual-processor count routing gives an image of this shape under
@@ -138,10 +149,11 @@ class Pipeline {
                         std::uint32_t procs_cap, ParallelFn parallel,
                         SequentialFn sequential);
 
-  void worker_loop();
+  void worker_loop(std::uint32_t worker);
   void finish_cancelled(QueuedJob& job);
 
   PipelineOptions options_;
+  trace::Tracer* tracer_ = nullptr;  ///< resolved from options/environment
   MachinePool pool_;
   std::unique_ptr<JobQueue<QueuedJob>> queue_;
   MetricsRecorder metrics_;

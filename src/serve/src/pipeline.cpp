@@ -11,6 +11,7 @@
 #include "histcc/hist/histogram.hpp"
 #include "histcc/image/layout.hpp"
 #include "histcc/splitc/spread.hpp"
+#include "histcc/trace/trace.hpp"
 #include "histcc/util/math.hpp"
 
 namespace histcc::serve {
@@ -20,6 +21,25 @@ namespace {
 double seconds_between(Clock::time_point from, Clock::time_point to) {
   return std::chrono::duration<double>(to - from).count();
 }
+
+/// Attaches the pipeline's tracer to a leased machine for the duration of
+/// one job and detaches on every exit path: leased machines outlive the
+/// job and may serve a later pipeline with a different (or no) tracer.
+class MachineTraceGuard {
+ public:
+  MachineTraceGuard(splitc::Machine& machine, trace::Tracer* tracer)
+      : machine_(machine) {
+    machine_.set_trace(tracer);
+  }
+  ~MachineTraceGuard() {
+    if (!machine_.running()) machine_.set_trace(nullptr);
+  }
+  MachineTraceGuard(const MachineTraceGuard&) = delete;
+  MachineTraceGuard& operator=(const MachineTraceGuard&) = delete;
+
+ private:
+  splitc::Machine& machine_;
+};
 
 /// Distributed equalization over a host image: scatter, equalize in
 /// place, gather.  Requires p | k; violations throw and degrade.
@@ -98,9 +118,10 @@ Pipeline::Pipeline(PipelineOptions options)
       pool_(options_.pool_size, options_.max_procs,
             resolve_machines_per_slot(options_), options_.spread_layout),
       queue_(std::make_unique<JobQueue<QueuedJob>>(options_.queue_capacity)) {
+  tracer_ = options_.trace != nullptr ? options_.trace : trace::env_tracer();
   workers_.reserve(options_.pool_size);
   for (std::uint32_t i = 0; i < options_.pool_size; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -232,7 +253,32 @@ PendingJob<std::vector<ccseq::ComponentStats>> Pipeline::submit_stats(
       });
 }
 
-void Pipeline::worker_loop() {
+void Pipeline::worker_loop(std::uint32_t worker) {
+  const std::uint32_t tid = trace::serve_tid(worker);
+  // Serve-layer spans are recorded after the fact from the job's own
+  // timestamps (the same ones the latency metrics use), so the trace and
+  // the metrics always agree on every interval.
+  const auto record = [&](const char* name, Clock::time_point from,
+                          Clock::time_point to, std::uint64_t arg) {
+    if (tracer_ == nullptr || !tracer_->enabled()) return;
+    trace::Span span;
+    span.name = name;
+    span.tid = tid;
+    span.t0_ns = tracer_->to_ns(from);
+    span.t1_ns = tracer_->to_ns(to);
+    span.arg = arg;
+    tracer_->record_span(span);
+  };
+  // PoolMetrics -> trace bridge: sample the two gauges at the points
+  // they change so the counter tracks mirror Pipeline::metrics().
+  const auto sample_gauges = [&] {
+    if (tracer_ == nullptr || !tracer_->enabled()) return;
+    const std::int64_t now = tracer_->now_ns();
+    tracer_->record_counter({"serve/queue_depth", tid, now,
+                             static_cast<double>(queue_->size())});
+    tracer_->record_counter({"serve/in_flight", tid, now,
+                             static_cast<double>(metrics_.in_flight())});
+  };
   for (;;) {
     auto popped = queue_->pop();
     if (!popped) return;  // closed and drained
@@ -240,6 +286,8 @@ void Pipeline::worker_loop() {
     const auto dequeued = Clock::now();
     const double queue_s = seconds_between(job.submitted, dequeued);
     metrics_.on_dequeue(queue_s);
+    record("serve/queue", job.submitted, dequeued, job.id);
+    sample_gauges();
 
     JobStatus status = JobStatus::kOk;
     std::string error;
@@ -275,6 +323,8 @@ void Pipeline::worker_loop() {
         std::string parallel_error;
         try {
           auto lease = pool_.acquire(job.procs);
+          record("serve/lease", started, Clock::now(), job.id);
+          MachineTraceGuard trace_guard(lease.machine(), tracer_);
           if (options_.before_parallel) options_.before_parallel();
           job.parallel(lease.machine());
           procs_used = job.procs;
@@ -287,13 +337,16 @@ void Pipeline::worker_loop() {
         if (!parallel_ok) {
           // Degrade, never drop: the sequential reference serves the job.
           error = parallel_error;
+          const auto degrade_started = Clock::now();
           if (run_sequential()) status = JobStatus::kDegraded;
+          record("serve/degrade", degrade_started, Clock::now(), job.id);
         }
       } else {
         run_sequential();
       }
       const auto finished = Clock::now();
       run_s = seconds_between(started, finished);
+      record("serve/run", started, finished, job.id);
       if (status != JobStatus::kFailed && job.deadline &&
           finished > *job.deadline) {
         status = JobStatus::kTimedOut;
@@ -304,6 +357,7 @@ void Pipeline::worker_loop() {
     // Record before resolving the future: a caller that has observed the
     // result must also observe its effect on the metrics.
     metrics_.on_finish(status, queue_s + run_s, run_s);
+    sample_gauges();
     job.finish(status, std::move(error), procs_used, queue_s, run_s);
   }
 }

@@ -33,6 +33,13 @@
 #include "histcc/splitc/stats.hpp"
 #include "histcc/util/math.hpp"
 
+namespace histcc::trace {
+// Span recorder (histcc/trace/trace.hpp).  Only a pointer crosses this
+// boundary: splitc stays trace-agnostic and histcc::trace depends on
+// splitc, not the other way round.
+class Tracer;
+}  // namespace histcc::trace
+
 namespace histcc::splitc {
 
 class Machine;
@@ -117,6 +124,10 @@ class Proc {
   [[nodiscard]] CommStats& stats() noexcept { return *stats_; }
   [[nodiscard]] const CommStats& stats() const noexcept { return *stats_; }
 
+  /// The span recorder attached to the owning machine, or nullptr when
+  /// tracing is off — the hot-path guard every TRACE_SCOPE site checks.
+  [[nodiscard]] trace::Tracer* tracer() const noexcept { return tracer_; }
+
   /// Charge `n` local RAM operations to the Tcomp meter.  Algorithms call
   /// this around their local phases so modeled Tcomp can be reported next
   /// to modeled Tcomm.
@@ -163,6 +174,7 @@ class Proc {
   std::uint64_t pending_words_ = 0;
   std::uint64_t epoch_ = 1;
   std::uint64_t perturb_state_ = 0;  // splitmix64 state; 0 = perturbation off
+  trace::Tracer* tracer_ = nullptr;  // owning machine's recorder, if any
 };
 
 /// A virtual distributed-memory machine with p processors (p a power of
@@ -278,6 +290,15 @@ class Machine {
     perturb_seed_ = seed;
   }
 
+  /// Attach a span recorder (histcc/trace/trace.hpp); every Proc handed
+  /// to subsequent run()s carries the pointer, so TRACE_SCOPE sites in
+  /// kernels start recording.  Non-owning — the tracer must outlive its
+  /// attachment; nullptr detaches.  Not callable mid-run.
+  void set_trace(trace::Tracer* tracer);
+
+  /// The attached span recorder, or nullptr when tracing is off.
+  [[nodiscard]] trace::Tracer* tracer() const noexcept { return tracer_; }
+
   /// True while run() is executing the SPMD program.  Host-side Spread
   /// probes use this to decide whether an access can race at all.
   [[nodiscard]] bool running() const noexcept { return running_; }
@@ -323,6 +344,7 @@ class Machine {
   bool race_ledger_enabled_ = false;
   RacePolicy race_policy_ = RacePolicy::kThrow;
   SpreadLayout spread_layout_ = SpreadLayout::kPacked;
+  trace::Tracer* tracer_ = nullptr;
   std::atomic<std::uint64_t> spread_bytes_{0};
   std::atomic<std::uint64_t> spread_allocs_{0};
   std::uint64_t perturb_seed_ = 0;

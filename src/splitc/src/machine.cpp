@@ -83,6 +83,11 @@ void Machine::set_spread_layout(SpreadLayout layout) {
   spread_layout_ = layout;
 }
 
+void Machine::set_trace(trace::Tracer* tracer) {
+  HISTCC_REQUIRE(!running_, "cannot attach a tracer mid-run");
+  tracer_ = tracer;
+}
+
 void Machine::set_race_ledger_mode(LedgerMode mode) {
   HISTCC_REQUIRE(!running_, "cannot switch ledger mode mid-run");
   if (race_ledger_) race_ledger_->set_mode(mode);
@@ -101,6 +106,7 @@ void Machine::execute_as(std::uint32_t rank,
                          const std::function<void(Proc&)>& program) {
   Proc proc(rank, nprocs_, grid_, &barrier_, &stats_[rank], served_.get());
   proc.perturb_state_ = perturb_state_for(rank);
+  proc.tracer_ = tracer_;
   try {
     program(proc);
   } catch (const BarrierAborted&) {
@@ -200,6 +206,7 @@ void Machine::run(const std::function<void(Proc&)>& program) {
     // Degenerate single-processor machine: run inline, no threads.
     Proc proc(0, 1, grid_, &barrier_, &stats_[0], served_.get());
     proc.perturb_state_ = perturb_state_for(0);
+    proc.tracer_ = tracer_;
     program(proc);
     check_race_ledger();
     return;

@@ -1,0 +1,298 @@
+#ifndef HISTCC_TRACE_TRACE_HPP
+#define HISTCC_TRACE_TRACE_HPP
+
+/// \file trace.hpp
+/// Barrier-epoch span tracing for the SPMD runtime.
+///
+/// The source paper is an experimental study: its figures are per-phase
+/// breakdowns (histogram step timings, CC phase decomposition, transpose
+/// communication volume).  This subsystem makes those breakdowns
+/// observable on a live run instead of reconstructed from ad-hoc timers:
+///
+///  - `Tracer` collects `Span` records into lock-free per-thread buffers.
+///    Each span carries wall-clock interval, the *barrier epoch* interval
+///    (`Proc::epoch()` — the same counter the race ledger keys its
+///    happens-before check on), and the CommStats delta accumulated while
+///    the span was open, so bytes/messages per BDM primitive fall out of
+///    the same ledger the cost model reads.
+///  - `Scope` is the RAII recorder; the `TRACE_SCOPE(owner, "name")`
+///    macro plants one in a block.  When no tracer is attached (the
+///    default) the constructor is a pointer load and a branch; when a
+///    tracer is attached but disabled it is additionally one relaxed
+///    atomic load.  Kernels therefore stay instrumented in every build.
+///  - Exporters (export.hpp) turn a tracer's buffers into a
+///    Chrome/Perfetto `trace.json` or a plain-text per-phase breakdown.
+///
+/// Attachment points: `Machine::set_trace(&tracer)` for direct use,
+/// `serve::PipelineOptions::trace` for the serving layer, and the
+/// `HISTCC_TRACE` environment variable (see `env_tracer()`) for
+/// harnesses that should not need a code change.
+///
+/// Epoch alignment: between two consecutive global barriers every rank is
+/// in the same epoch, so spans from different ranks with overlapping
+/// [begin_epoch, end_epoch] intervals describe the same algorithmic
+/// phase even when the OS scheduler skews their wall-clock intervals.
+///
+/// Thread-safety contract: recording is safe from any number of threads
+/// concurrently (each writes its own buffer).  Reading a snapshot
+/// (`spans()`, `counters()`, `clear()`, the exporters) is safe only while
+/// no traced program is mid-run — after `Machine::run` returns or the
+/// serve pipeline is shut down; both joins/parks provide the needed
+/// happens-before edge.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "histcc/splitc/machine.hpp"
+
+namespace histcc::trace {
+
+/// All trace timestamps come from one steady clock (never wall time:
+/// spans must be immune to NTP steps, same as the bench timers).
+using Clock = std::chrono::steady_clock;
+static_assert(Clock::is_steady, "trace timestamps require a steady clock");
+
+/// Track (Perfetto "tid") conventions: the host/control thread is track
+/// 0, virtual processor r is track r + 1.
+inline constexpr std::uint32_t kHostTid = 0;
+[[nodiscard]] constexpr std::uint32_t rank_tid(std::uint32_t rank) noexcept {
+  return rank + 1;
+}
+/// Serving-layer pool workers get their own tracks, numbered from a base
+/// comfortably above any plausible virtual-processor count.
+inline constexpr std::uint32_t kServeTidBase = 1000;
+[[nodiscard]] constexpr std::uint32_t serve_tid(std::uint32_t worker) noexcept {
+  return kServeTidBase + worker;
+}
+
+/// One closed instrumentation interval.  `name` must point to storage
+/// that outlives the tracer (the macros pass string literals).
+struct Span {
+  const char* name = "";
+  std::uint32_t tid = kHostTid;
+  /// Barrier epoch at open/close; 0 on host-side spans recorded while no
+  /// SPMD program is running.
+  std::uint64_t begin_epoch = 0;
+  std::uint64_t end_epoch = 0;
+  /// Nanoseconds since the tracer's origin (Tracer::now_ns()).
+  std::int64_t t0_ns = 0;
+  std::int64_t t1_ns = 0;
+  /// CommStats delta of the owning rank while the span was open.
+  std::uint64_t words = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t barriers = 0;
+  /// Free-form correlation id (the serve layer records the job id here).
+  std::uint64_t arg = 0;
+};
+
+/// One sample of a named counter (exported as a Perfetto "C" event);
+/// the serve layer bridges PoolMetrics gauges through these.
+struct CounterSample {
+  const char* name = "";
+  std::uint32_t tid = kHostTid;
+  std::int64_t t_ns = 0;
+  double value = 0.0;
+};
+
+/// Span/counter collector.  One tracer can serve any number of machines
+/// and threads; see the thread-safety contract in the file comment.
+class Tracer {
+ public:
+  Tracer();
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Master switch, read with a relaxed load on every instrumentation
+  /// site.  A disabled tracer records nothing but stays attached.
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Nanoseconds since this tracer was constructed.
+  [[nodiscard]] std::int64_t now_ns() const noexcept {
+    return to_ns(Clock::now());
+  }
+  /// Convert a caller-held steady timestamp to tracer time (the serve
+  /// layer timestamps jobs itself and records spans after the fact).
+  [[nodiscard]] std::int64_t to_ns(Clock::time_point t) const noexcept {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(t - origin_)
+        .count();
+  }
+
+  /// Append one record to the calling thread's buffer.  Lock-free after
+  /// the thread's first record (registration takes the registry mutex
+  /// once).  Ignores the enabled() switch — callers check it first so
+  /// the disabled path pays nothing.
+  void record_span(const Span& span);
+  void record_counter(const CounterSample& sample);
+
+  /// Snapshot across all thread buffers, ordered by start time.  Only
+  /// valid while no traced program is mid-run.
+  [[nodiscard]] std::vector<Span> spans() const;
+  [[nodiscard]] std::vector<CounterSample> counters() const;
+
+  /// Drop all recorded data (buffers stay registered).  Same quiescence
+  /// requirement as spans().
+  void clear();
+
+ private:
+  struct Buffer {
+    std::vector<Span> spans;
+    std::vector<CounterSample> counters;
+  };
+
+  /// The calling thread's buffer, registering it on first use.
+  Buffer& local_buffer();
+
+  Clock::time_point origin_;
+  std::atomic<bool> enabled_{true};
+  const std::uint64_t id_;  ///< process-unique, guards stale TLS caches
+  mutable std::mutex registry_mutex_;
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+};
+
+/// The process-wide tracer requested by the `HISTCC_TRACE` environment
+/// variable, or nullptr when the variable is unset/"0"/"off".  Any other
+/// value enables tracing; a value ending in ".json" additionally writes
+/// a Chrome/Perfetto trace there at process exit, anything else writes
+/// the plain-text phase report to stderr at exit.  The tracer lives for
+/// the whole process (intentionally leaked: worker threads may still
+/// hold buffer references during static destruction).
+[[nodiscard]] Tracer* env_tracer();
+
+/// RAII span recorder.  Constructed against a `Proc` it tags the span
+/// with the rank's track, barrier epochs, and CommStats deltas; against
+/// a `Machine` or bare `Tracer*` it records a host-track span.
+class Scope {
+ public:
+  Scope(splitc::Proc& self, const char* name, std::uint64_t arg = 0) noexcept
+      : Scope(self.tracer(), name, arg) {
+    if (tracer_ == nullptr) return;
+    proc_ = &self;
+    span_.tid = rank_tid(self.rank());
+    span_.begin_epoch = self.epoch();
+    const splitc::CommStats& s = self.stats();
+    base_words_ = s.words;
+    base_messages_ = s.messages;
+    base_batches_ = s.batches;
+    base_barriers_ = s.barriers;
+  }
+
+  Scope(splitc::Machine& machine, const char* name,
+        std::uint64_t arg = 0) noexcept
+      : Scope(machine.tracer(), name, arg) {
+    if (tracer_ == nullptr) return;
+    machine_ = &machine;
+    span_.begin_epoch = machine.running() ? machine.current_epoch() : 0;
+  }
+
+  Scope(Tracer* tracer, const char* name, std::uint64_t arg = 0) noexcept {
+    if (tracer == nullptr || !tracer->enabled()) return;
+    tracer_ = tracer;
+    span_.name = name;
+    span_.arg = arg;
+    span_.t0_ns = tracer->now_ns();
+  }
+
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+  ~Scope() {
+    if (tracer_ == nullptr) return;
+    span_.t1_ns = tracer_->now_ns();
+    if (proc_ != nullptr) {
+      span_.end_epoch = proc_->epoch();
+      const splitc::CommStats& s = proc_->stats();
+      span_.words = s.words - base_words_;
+      span_.messages = s.messages - base_messages_;
+      span_.batches = s.batches - base_batches_;
+      span_.barriers = s.barriers - base_barriers_;
+    } else if (machine_ != nullptr) {
+      span_.end_epoch =
+          machine_->running() ? machine_->current_epoch() : span_.begin_epoch;
+    }
+    tracer_->record_span(span_);
+  }
+
+  /// True when this scope is actually recording.
+  [[nodiscard]] bool active() const noexcept { return tracer_ != nullptr; }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  const splitc::Proc* proc_ = nullptr;
+  const splitc::Machine* machine_ = nullptr;
+  std::uint64_t base_words_ = 0;
+  std::uint64_t base_messages_ = 0;
+  std::uint64_t base_batches_ = 0;
+  std::uint64_t base_barriers_ = 0;
+  Span span_;
+};
+
+namespace detail {
+
+[[nodiscard]] inline Tracer* tracer_of(splitc::Proc& self) noexcept {
+  return self.tracer();
+}
+[[nodiscard]] inline Tracer* tracer_of(splitc::Machine& machine) noexcept {
+  return machine.tracer();
+}
+[[nodiscard]] inline Tracer* tracer_of(Tracer* tracer) noexcept {
+  return tracer;
+}
+[[nodiscard]] inline std::uint32_t tid_of(splitc::Proc& self) noexcept {
+  return rank_tid(self.rank());
+}
+[[nodiscard]] inline std::uint32_t tid_of(splitc::Machine&) noexcept {
+  return kHostTid;
+}
+[[nodiscard]] inline std::uint32_t tid_of(Tracer*) noexcept {
+  return kHostTid;
+}
+
+template <typename Owner>
+inline void counter(Owner&& owner, const char* name, double value) noexcept {
+  Tracer* tracer = tracer_of(owner);
+  if (tracer == nullptr || !tracer->enabled()) return;
+  tracer->record_counter(
+      CounterSample{name, tid_of(owner), tracer->now_ns(), value});
+}
+
+}  // namespace detail
+}  // namespace histcc::trace
+
+#define HISTCC_TRACE_CAT2(a, b) a##b
+#define HISTCC_TRACE_CAT(a, b) HISTCC_TRACE_CAT2(a, b)
+
+/// Statement form: plants a span covering the rest of the enclosing
+/// block.  `owner` is a Proc&, Machine&, or Tracer*; extra arguments are
+/// forwarded to Scope (the optional correlation arg).
+///   TRACE_SCOPE(self, "hist/tally");
+#define TRACE_SCOPE(owner, ...)                                     \
+  ::histcc::trace::Scope HISTCC_TRACE_CAT(histcc_trace_scope_,      \
+                                          __LINE__)((owner), __VA_ARGS__)
+
+/// Block form: the span covers exactly the attached compound statement.
+///   TRACE_SPAN(self, "hist/transpose") { bdm::transpose(...); }
+/// Spelled as an if-with-initializer, so an unbraced dangling `else`
+/// after it would bind here — always brace the body.
+#define TRACE_SPAN(owner, ...)                                   \
+  if (::histcc::trace::Scope HISTCC_TRACE_CAT(histcc_trace_span_, \
+                                              __LINE__){(owner), __VA_ARGS__}; \
+      true)
+
+/// Record one sample of a named counter on the owner's track.
+///   TRACE_COUNTER(tracer, "serve/queue_depth", depth);
+#define TRACE_COUNTER(owner, name, value) \
+  ::histcc::trace::detail::counter((owner), (name), (value))
+
+#endif  // HISTCC_TRACE_TRACE_HPP

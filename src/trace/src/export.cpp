@@ -1,0 +1,196 @@
+#include "histcc/trace/export.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace histcc::trace {
+
+namespace {
+
+/// JSON string escaping.  Span names are static literals under our
+/// control, but the exporter must emit valid JSON for any input.
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Microsecond timestamp with sub-microsecond precision (the trace-event
+/// format's `ts`/`dur` unit).
+double us(std::int64_t ns) { return static_cast<double>(ns) / 1000.0; }
+
+std::string track_name(std::uint32_t tid) {
+  if (tid == kHostTid) return "host";
+  if (tid >= kServeTidBase) {
+    return "serve worker " + std::to_string(tid - kServeTidBase);
+  }
+  return "rank " + std::to_string(tid - 1);
+}
+
+}  // namespace
+
+void write_chrome_json(const Tracer& tracer, std::ostream& out) {
+  const std::vector<Span> spans = tracer.spans();
+  const std::vector<CounterSample> counters = tracer.counters();
+
+  std::set<std::uint32_t> tids;
+  for (const Span& s : spans) tids.insert(s.tid);
+  for (const CounterSample& c : counters) tids.insert(c.tid);
+
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) out << ",\n";
+    first = false;
+  };
+
+  for (const std::uint32_t tid : tids) {
+    sep();
+    out << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+        << json_escape(track_name(tid)) << "\"}}";
+  }
+
+  out << std::setprecision(15);
+  for (const Span& s : spans) {
+    sep();
+    out << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << s.tid << ",\"name\":\""
+        << json_escape(s.name) << "\",\"ts\":" << us(s.t0_ns)
+        << ",\"dur\":" << us(std::max<std::int64_t>(s.t1_ns - s.t0_ns, 0))
+        << ",\"args\":{\"begin_epoch\":" << s.begin_epoch
+        << ",\"end_epoch\":" << s.end_epoch << ",\"words\":" << s.words
+        << ",\"messages\":" << s.messages << ",\"batches\":" << s.batches
+        << ",\"barriers\":" << s.barriers << ",\"arg\":" << s.arg << "}}";
+  }
+
+  for (const CounterSample& c : counters) {
+    sep();
+    out << "{\"ph\":\"C\",\"pid\":1,\"tid\":" << c.tid << ",\"name\":\""
+        << json_escape(c.name) << "\",\"ts\":" << us(c.t_ns)
+        << ",\"args\":{\"value\":" << c.value << "}}";
+  }
+
+  out << "],\n\"displayTimeUnit\":\"ms\",\"otherData\":{\"tool\":"
+         "\"histcc::trace\",\"schema\":1}}\n";
+}
+
+bool write_chrome_json(const Tracer& tracer, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_json(tracer, out);
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+std::vector<PhaseRow> phase_breakdown(const Tracer& tracer,
+                                      const splitc::MachineProfile& profile) {
+  const std::vector<Span> spans = tracer.spans();
+
+  struct TrackAccum {
+    std::int64_t wall_ns = 0;
+    std::uint64_t words = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t barriers = 0;
+  };
+  struct PhaseAccum {
+    std::size_t order = 0;  ///< first-appearance index (execution order)
+    PhaseRow row;
+    std::map<std::uint32_t, TrackAccum> tracks;
+  };
+
+  std::map<std::string, PhaseAccum> phases;
+  std::size_t next_order = 0;
+  for (const Span& s : spans) {
+    auto [it, inserted] = phases.try_emplace(s.name);
+    PhaseAccum& acc = it->second;
+    if (inserted) {
+      acc.order = next_order++;
+      acc.row.name = s.name;
+    }
+    const std::int64_t dur = std::max<std::int64_t>(s.t1_ns - s.t0_ns, 0);
+    acc.row.spans += 1;
+    acc.row.total_wall_s += static_cast<double>(dur) * 1e-9;
+    acc.row.words += s.words;
+    acc.row.messages += s.messages;
+    acc.row.barriers += s.barriers;
+    TrackAccum& track = acc.tracks[s.tid];
+    track.wall_ns += dur;
+    track.words += s.words;
+    track.batches += s.batches;
+    track.barriers += s.barriers;
+  }
+
+  std::vector<PhaseRow> rows;
+  rows.reserve(phases.size());
+  std::vector<const PhaseAccum*> ordered;
+  ordered.reserve(phases.size());
+  for (const auto& [name, acc] : phases) ordered.push_back(&acc);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const PhaseAccum* a, const PhaseAccum* b) {
+              return a->order < b->order;
+            });
+  for (const PhaseAccum* acc : ordered) {
+    PhaseRow row = acc->row;
+    for (const auto& [tid, track] : acc->tracks) {
+      row.wall_s =
+          std::max(row.wall_s, static_cast<double>(track.wall_ns) * 1e-9);
+      row.modeled_comm_s = std::max(
+          row.modeled_comm_s,
+          profile.comm_seconds(track.batches + track.barriers, track.words));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void write_phase_report(const Tracer& tracer,
+                        const splitc::MachineProfile& profile,
+                        std::ostream& out) {
+  const std::vector<PhaseRow> rows = phase_breakdown(tracer, profile);
+  out << "histcc::trace per-phase breakdown (profile: " << profile.name
+      << ")\n";
+  out << std::left << std::setw(28) << "phase" << std::right << std::setw(8)
+      << "spans" << std::setw(12) << "wall ms" << std::setw(12) << "cpu ms"
+      << std::setw(12) << "words" << std::setw(10) << "msgs" << std::setw(14)
+      << "modeled ms" << "\n";
+  out << std::string(96, '-') << "\n";
+  std::ostringstream body;
+  body << std::fixed;
+  for (const PhaseRow& row : rows) {
+    body << std::left << std::setw(28) << row.name << std::right
+         << std::setw(8) << row.spans << std::setw(12) << std::setprecision(3)
+         << row.wall_s * 1e3 << std::setw(12) << std::setprecision(3)
+         << row.total_wall_s * 1e3 << std::setw(12) << row.words
+         << std::setw(10) << row.messages << std::setw(14)
+         << std::setprecision(4) << row.modeled_comm_s * 1e3 << "\n";
+  }
+  out << body.str();
+}
+
+}  // namespace histcc::trace

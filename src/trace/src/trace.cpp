@@ -1,0 +1,134 @@
+#include "histcc/trace/trace.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <string_view>
+
+#include "histcc/trace/export.hpp"
+
+namespace histcc::trace {
+
+namespace {
+
+/// Process-unique tracer ids.  The per-thread buffer cache keys on the
+/// id, not the address, so a new tracer reusing a destroyed tracer's
+/// address can never satisfy a stale cache entry.
+std::atomic<std::uint64_t> g_next_tracer_id{1};
+
+struct TlsBufferRef {
+  std::uint64_t tracer_id = 0;
+  void* buffer = nullptr;
+};
+thread_local TlsBufferRef t_buffer_ref;
+
+}  // namespace
+
+Tracer::Tracer()
+    : origin_(Clock::now()),
+      id_(g_next_tracer_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+Tracer::~Tracer() = default;
+
+Tracer::Buffer& Tracer::local_buffer() {
+  if (t_buffer_ref.tracer_id == id_) {
+    return *static_cast<Buffer*>(t_buffer_ref.buffer);
+  }
+  std::scoped_lock lock(registry_mutex_);
+  buffers_.push_back(std::make_unique<Buffer>());
+  Buffer& buffer = *buffers_.back();
+  t_buffer_ref = TlsBufferRef{id_, &buffer};
+  return buffer;
+}
+
+void Tracer::record_span(const Span& span) {
+  local_buffer().spans.push_back(span);
+}
+
+void Tracer::record_counter(const CounterSample& sample) {
+  local_buffer().counters.push_back(sample);
+}
+
+std::vector<Span> Tracer::spans() const {
+  std::vector<Span> all;
+  {
+    std::scoped_lock lock(registry_mutex_);
+    for (const auto& buffer : buffers_) {
+      all.insert(all.end(), buffer->spans.begin(), buffer->spans.end());
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const Span& a, const Span& b) {
+    if (a.t0_ns != b.t0_ns) return a.t0_ns < b.t0_ns;
+    return a.tid < b.tid;
+  });
+  return all;
+}
+
+std::vector<CounterSample> Tracer::counters() const {
+  std::vector<CounterSample> all;
+  {
+    std::scoped_lock lock(registry_mutex_);
+    for (const auto& buffer : buffers_) {
+      all.insert(all.end(), buffer->counters.begin(), buffer->counters.end());
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const CounterSample& a, const CounterSample& b) {
+              return a.t_ns < b.t_ns;
+            });
+  return all;
+}
+
+void Tracer::clear() {
+  std::scoped_lock lock(registry_mutex_);
+  for (auto& buffer : buffers_) {
+    buffer->spans.clear();
+    buffer->counters.clear();
+  }
+}
+
+namespace {
+
+/// Flush destination parsed from HISTCC_TRACE; empty path means "text
+/// report to stderr".
+std::string g_env_trace_path;  // NOLINT(cert-err58-cpp): std::string{} is noexcept
+
+void flush_env_tracer() {
+  Tracer* tracer = env_tracer();
+  if (tracer == nullptr) return;
+  if (!g_env_trace_path.empty()) {
+    if (!write_chrome_json(*tracer, g_env_trace_path)) {
+      std::cerr << "histcc::trace: failed to write HISTCC_TRACE output to "
+                << g_env_trace_path << "\n";
+    }
+    return;
+  }
+  write_phase_report(*tracer, splitc::host(), std::cerr);
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+}  // namespace
+
+Tracer* env_tracer() {
+  // Leaked on purpose: pool worker threads may outlive static destructors
+  // and must never observe a destroyed tracer through Machine pointers.
+  static Tracer* const tracer = []() -> Tracer* {
+    const char* env = std::getenv("HISTCC_TRACE");
+    if (env == nullptr) return nullptr;
+    const std::string_view value(env);
+    if (value.empty() || value == "0" || value == "off") return nullptr;
+    if (ends_with(value, ".json")) g_env_trace_path.assign(value);
+    auto* t = new Tracer();  // NOLINT(cppcoreguidelines-owning-memory)
+    std::atexit(flush_env_tracer);
+    return t;
+  }();
+  return tracer;
+}
+
+}  // namespace histcc::trace

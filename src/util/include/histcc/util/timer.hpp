@@ -14,6 +14,10 @@ namespace histcc::util {
 /// Simple monotonic stopwatch.
 class Timer {
  public:
+  /// Public so users can assert the monotonicity this header promises
+  /// (the bench harness static_asserts clock::is_steady).
+  using clock = std::chrono::steady_clock;
+
   Timer() noexcept : start_(clock::now()) {}
 
   /// Restart the stopwatch.
@@ -32,7 +36,6 @@ class Timer {
   }
 
  private:
-  using clock = std::chrono::steady_clock;
   clock::time_point start_;
 };
 
@@ -40,6 +43,8 @@ class Timer {
 /// algorithm's run into the paper's Tcomp / Tcomm buckets.
 class PhaseTimer {
  public:
+  using clock = std::chrono::steady_clock;
+
   void start() noexcept { mark_ = clock::now(); }
   void stop() noexcept {
     total_ += std::chrono::duration<double>(clock::now() - mark_).count();
@@ -48,7 +53,6 @@ class PhaseTimer {
   void reset() noexcept { total_ = 0.0; }
 
  private:
-  using clock = std::chrono::steady_clock;
   clock::time_point mark_{};
   double total_ = 0.0;
 };

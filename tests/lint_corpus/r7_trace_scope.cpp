@@ -1,0 +1,68 @@
+// spmdlint corpus: TRACE_SCOPE/TRACE_SPAN awareness.  This file is linted,
+// never compiled.  The macros (histcc/trace/trace.hpp) are transparent to
+// control flow: TRACE_SCOPE(...) declares an RAII recorder and
+// TRACE_SPAN(...) { ... } wraps its block in an if-with-initializer.  The
+// analyzer must neither treat a span body as a lambda (its `) {` shape)
+// nor leave a control header dangling across a skipped macro — both
+// misreads existed before the TRACE_* handler and are pinned here.
+
+#include <cstdint>
+
+namespace corpus {
+
+struct Proc {
+  std::uint32_t rank() const;
+  std::uint32_t nprocs() const;
+  void barrier();
+  void sync();
+};
+
+template <typename T>
+struct Spread {
+  Spread(const char* name);
+  T* local(Proc& self);
+  void note_local_write(Proc& self);
+};
+
+// --- violations ------------------------------------------------------------
+
+void divergent_barrier_inside_span(Proc& self) {
+  if (self.rank() == 0) {
+    TRACE_SPAN(self, "cc/border") {
+      self.barrier();  // VIOLATION: span body is not a callable boundary
+    }
+  }
+}
+
+// --- near-misses (must NOT fire) -------------------------------------------
+
+void span_as_unbraced_control_body(Proc& self) {
+  const bool leader = self.rank() == 0;
+  if (leader) TRACE_SPAN(self, "serve/lease") { self.sync(); }
+  self.barrier();  // all ranks arrive: the guard ended with the span body
+}
+
+void scope_statement_under_guard(Proc& self) {
+  if (self.rank() == 0) {
+    TRACE_SCOPE(self, "cc/graph");  // declaration only, no barrier inside
+    self.sync();
+  }
+  self.barrier();  // uniform
+}
+
+void span_keeps_barrier_region(Proc& self) {
+  Spread<std::uint32_t> tiles("tiles");
+  TRACE_SPAN(self, "hist/tally") {
+    tiles.local(self)[0] = 1;  // mutation inside the span...
+  }
+  tiles.note_local_write(self);  // ...annotated outside it, same region
+  self.barrier();
+}
+
+void uniform_barrier_inside_span(Proc& self) {
+  TRACE_SPAN(self, "hist/transpose") {
+    self.barrier();  // every rank opens the span: fine
+  }
+}
+
+}  // namespace corpus

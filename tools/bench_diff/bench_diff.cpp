@@ -1,0 +1,314 @@
+// bench_diff: compare two BENCH_*.json reports (bench/bench_util.hpp
+// JsonReport, schema v3) and fail on perf regressions.
+//
+//   bench_diff BASELINE.json CURRENT.json [--threshold PCT] [--key FIELD]
+//              [--allow-missing]
+//
+// Records are matched by their `name` field.  A record regresses when
+// CURRENT's FIELD (default min_ns — the best-of-reps number, least noisy
+// on shared CI hosts) exceeds BASELINE's by more than PCT percent
+// (default 10).  A record present in BASELINE but absent from CURRENT is
+// an error unless --allow-missing (a renamed bench must update its
+// baseline deliberately); records new in CURRENT are reported but never
+// fail.  Exit codes: 0 clean, 1 regression/missing, 2 usage or I/O or
+// parse error.
+//
+// The parser below is deliberately minimal and dependency-free: it
+// understands exactly the flat shape JsonReport writes (one object per
+// result, string and number values, no nesting inside results) and
+// rejects anything else rather than guessing.
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Record {
+  std::string name;
+  std::map<std::string, double> fields;
+};
+
+struct Report {
+  std::string bench;
+  int schema_version = 0;
+  std::string git_sha;
+  std::vector<Record> results;
+};
+
+/// Cursor over the raw JSON text.
+struct Cursor {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+      ++pos;
+    }
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  [[nodiscard]] char peek() {
+    skip_ws();
+    return pos < text.size() ? text[pos] : '\0';
+  }
+};
+
+std::optional<std::string> parse_string(Cursor& c) {
+  if (!c.eat('"')) return std::nullopt;
+  std::string out;
+  while (c.pos < c.text.size() && c.text[c.pos] != '"') {
+    if (c.text[c.pos] == '\\' && c.pos + 1 < c.text.size()) ++c.pos;
+    out += c.text[c.pos++];
+  }
+  if (c.pos >= c.text.size()) return std::nullopt;
+  ++c.pos;  // closing quote
+  return out;
+}
+
+std::optional<double> parse_number(Cursor& c) {
+  c.skip_ws();
+  const char* begin = c.text.c_str() + c.pos;
+  char* end = nullptr;
+  const double value = std::strtod(begin, &end);
+  if (end == begin) return std::nullopt;
+  c.pos += static_cast<std::size_t>(end - begin);
+  return value;
+}
+
+/// One `{"name": ..., "p": ..., ...}` result object.
+std::optional<Record> parse_record(Cursor& c) {
+  if (!c.eat('{')) return std::nullopt;
+  Record record;
+  while (true) {
+    auto key = parse_string(c);
+    if (!key || !c.eat(':')) return std::nullopt;
+    if (c.peek() == '"') {
+      auto value = parse_string(c);
+      if (!value) return std::nullopt;
+      if (*key == "name") record.name = *value;
+    } else {
+      auto value = parse_number(c);
+      if (!value) return std::nullopt;
+      record.fields[*key] = *value;
+    }
+    if (c.eat(',')) continue;
+    if (c.eat('}')) break;
+    return std::nullopt;
+  }
+  return record;
+}
+
+std::optional<Report> parse_report(const std::string& text,
+                                   std::string* error) {
+  Cursor c{text};
+  Report report;
+  if (!c.eat('{')) {
+    *error = "expected top-level object";
+    return std::nullopt;
+  }
+  while (true) {
+    auto key = parse_string(c);
+    if (!key || !c.eat(':')) {
+      *error = "malformed key";
+      return std::nullopt;
+    }
+    if (*key == "results") {
+      if (!c.eat('[')) {
+        *error = "`results` is not an array";
+        return std::nullopt;
+      }
+      if (!c.eat(']')) {
+        while (true) {
+          auto record = parse_record(c);
+          if (!record || record->name.empty()) {
+            *error = "malformed result record (or record without a name)";
+            return std::nullopt;
+          }
+          report.results.push_back(std::move(*record));
+          if (c.eat(',')) continue;
+          if (c.eat(']')) break;
+          *error = "unterminated results array";
+          return std::nullopt;
+        }
+      }
+    } else if (c.peek() == '"') {
+      auto value = parse_string(c);
+      if (!value) {
+        *error = "malformed string value";
+        return std::nullopt;
+      }
+      if (*key == "bench") report.bench = *value;
+      if (*key == "git_sha") report.git_sha = *value;
+    } else {
+      auto value = parse_number(c);
+      if (!value) {
+        *error = "malformed numeric value";
+        return std::nullopt;
+      }
+      if (*key == "schema_version") {
+        report.schema_version = static_cast<int>(*value);
+      }
+    }
+    if (c.eat(',')) continue;
+    if (c.eat('}')) break;
+    *error = "unterminated top-level object";
+    return std::nullopt;
+  }
+  return report;
+}
+
+std::optional<Report> load(const char* path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = std::string("cannot open ") + path;
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  auto report = parse_report(text, error);
+  if (!report) {
+    *error = std::string(path) + ": " + *error;
+    return std::nullopt;
+  }
+  return report;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s BASELINE.json CURRENT.json [--threshold PCT] "
+               "[--key FIELD] [--allow-missing]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* baseline_path = nullptr;
+  const char* current_path = nullptr;
+  double threshold_pct = 10.0;
+  std::string key = "min_ns";
+  bool allow_missing = false;
+
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--threshold" && a + 1 < argc) {
+      char* end = nullptr;
+      threshold_pct = std::strtod(argv[++a], &end);
+      if (end == argv[a] || *end != '\0' || threshold_pct < 0) {
+        return usage(argv[0]);
+      }
+    } else if (arg == "--key" && a + 1 < argc) {
+      key = argv[++a];
+    } else if (arg == "--allow-missing") {
+      allow_missing = true;
+    } else if (baseline_path == nullptr) {
+      baseline_path = argv[a];
+    } else if (current_path == nullptr) {
+      current_path = argv[a];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (baseline_path == nullptr || current_path == nullptr) {
+    return usage(argv[0]);
+  }
+
+  std::string error;
+  const auto baseline = load(baseline_path, &error);
+  if (!baseline) {
+    std::fprintf(stderr, "bench_diff: %s\n", error.c_str());
+    return 2;
+  }
+  const auto current = load(current_path, &error);
+  if (!current) {
+    std::fprintf(stderr, "bench_diff: %s\n", error.c_str());
+    return 2;
+  }
+  if (baseline->bench != current->bench) {
+    std::fprintf(stderr,
+                 "bench_diff: comparing different benches (`%s` vs `%s`)\n",
+                 baseline->bench.c_str(), current->bench.c_str());
+    return 2;
+  }
+
+  std::map<std::string, const Record*> current_by_name;
+  for (const Record& r : current->results) current_by_name[r.name] = &r;
+
+  std::printf("bench_diff: %s  (%s @%s -> @%s, key %s, threshold +%.1f%%)\n",
+              baseline->bench.c_str(), baseline_path,
+              baseline->git_sha.c_str(), current->git_sha.c_str(),
+              key.c_str(), threshold_pct);
+  std::printf("%-34s %14s %14s %9s\n", "name", "baseline", "current",
+              "delta");
+
+  int regressions = 0;
+  int missing = 0;
+  for (const Record& base : baseline->results) {
+    const auto it = current_by_name.find(base.name);
+    if (it == current_by_name.end()) {
+      std::printf("%-34s %14s %14s %9s\n", base.name.c_str(), "-", "MISSING",
+                  "-");
+      ++missing;
+      continue;
+    }
+    const auto base_field = base.fields.find(key);
+    const auto cur_field = it->second->fields.find(key);
+    if (base_field == base.fields.end() ||
+        cur_field == it->second->fields.end()) {
+      std::printf("%-34s %14s %14s %9s\n", base.name.c_str(), "-", "-",
+                  "no-key");
+      continue;
+    }
+    const double b = base_field->second;
+    const double c = cur_field->second;
+    const double delta_pct = b > 0 ? (c / b - 1.0) * 100.0 : 0.0;
+    const bool regressed = b > 0 && delta_pct > threshold_pct;
+    std::printf("%-34s %14.1f %14.1f %+8.1f%%%s\n", base.name.c_str(), b, c,
+                delta_pct, regressed ? "  REGRESSION" : "");
+    if (regressed) ++regressions;
+  }
+  for (const Record& r : current->results) {
+    bool known = false;
+    for (const Record& base : baseline->results) {
+      if (base.name == r.name) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      std::printf("%-34s %14s %14s %9s\n", r.name.c_str(), "NEW", "-", "-");
+    }
+  }
+
+  if (missing > 0 && !allow_missing) {
+    std::printf("bench_diff: %d baseline record(s) missing from current "
+                "(rename baselines deliberately or pass --allow-missing)\n",
+                missing);
+    return 1;
+  }
+  if (regressions > 0) {
+    std::printf("bench_diff: %d regression(s) beyond +%.1f%%\n", regressions,
+                threshold_pct);
+    return 1;
+  }
+  std::printf("bench_diff: ok (%zu record(s) compared)\n",
+              baseline->results.size());
+  return 0;
+}

@@ -11,7 +11,8 @@
 #   JOBS=8 tools/check.sh              # override parallelism
 #   SPMDLINT_NO_BASELINE=1 tools/check.sh lint-spmd   # report ALL findings
 #
-# Stages: plain, asan-ubsan, tsan, race-ledger, lint-spmd, tidy.
+# Stages: plain, asan-ubsan, tsan, race-ledger, trace, bench-diff,
+# lint-spmd, tidy.
 # Exit status is non-zero iff any requested stage fails; a stage that
 # cannot run here (clang-tidy not installed) is recorded as SKIP, which
 # does not fail the script.  A per-stage PASS/FAIL/SKIP table is printed
@@ -29,7 +30,7 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 STAGES=("$@")
 if [ ${#STAGES[@]} -eq 0 ]; then
-  STAGES=(plain asan-ubsan tsan race-ledger lint-spmd tidy)
+  STAGES=(plain asan-ubsan tsan race-ledger trace bench-diff lint-spmd tidy)
 fi
 
 # Per-stage results, aggregated into the summary table and the exit code.
@@ -57,6 +58,47 @@ run_preset() {
   ctest --preset "${preset}" -j "${JOBS}" ||
     { record "${preset}" FAIL "test"; return; }
   record "${preset}" PASS
+}
+
+# Tracing subsystem (src/trace, docs/tracing.md): runs the trace-labelled
+# tier in the plain build, then produces a real trace.json from bench_host
+# and schema-checks it by loading it back (python3 when available, else a
+# structural grep).
+run_trace() {
+  note "trace: building plain preset"
+  cmake --preset plain >/dev/null || { record trace FAIL "configure"; return; }
+  cmake --build --preset plain -j "${JOBS}" --target test_trace bench_host ||
+    { record trace FAIL "build"; return; }
+  note "trace: ctest -L trace"
+  ctest --test-dir build -L trace -j "${JOBS}" --output-on-failure ||
+    { record trace FAIL "test"; return; }
+  note "trace: bench_host --trace smoke (p=4, traced end to end)"
+  (cd build && bench/bench_host --trace trace_smoke.json 4) ||
+    { record trace FAIL "bench --trace"; return; }
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -c 'import json,sys; d=json.load(open(sys.argv[1]));
+assert d["traceEvents"], "no trace events"' build/trace_smoke.json ||
+      { record trace FAIL "trace.json invalid"; return; }
+  else
+    grep -q '"traceEvents"' build/trace_smoke.json ||
+      { record trace FAIL "trace.json invalid"; return; }
+  fi
+  record trace PASS
+}
+
+# Bench regression gate (tools/bench_diff): fixture tests plus a self-diff
+# of the committed BENCH_*.json baselines (exercises the parser on real
+# reports; threshold 0 because a file always equals itself).
+run_bench_diff() {
+  note "bench-diff: building plain preset"
+  cmake --preset plain >/dev/null ||
+    { record bench-diff FAIL "configure"; return; }
+  cmake --build --preset plain -j "${JOBS}" --target bench_diff ||
+    { record bench-diff FAIL "build"; return; }
+  note "bench-diff: fixture + self-diff tests"
+  ctest --test-dir build -L bench_diff -j "${JOBS}" --output-on-failure ||
+    { record bench-diff FAIL "test"; return; }
+  record bench-diff PASS
 }
 
 # Static SPMD discipline lint (tools/spmdlint, docs/spmdlint.md).  Builds
@@ -124,6 +166,8 @@ run_tidy() {
 for stage in "${STAGES[@]}"; do
   case "${stage}" in
     plain | asan-ubsan | tsan | race-ledger) run_preset "${stage}" ;;
+    trace) run_trace ;;
+    bench-diff) run_bench_diff ;;
     lint-spmd) run_lint_spmd ;;
     tidy) run_tidy ;;
     *)

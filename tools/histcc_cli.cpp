@@ -128,6 +128,14 @@ img::GreyImage load_input(const Args& args) {
   return img::read_pgm_file(args.require("in"));
 }
 
+/// Honour the HISTCC_TRACE environment variable (docs/tracing.md) on
+/// every machine the CLI builds: HISTCC_TRACE=out.json writes a
+/// Chrome/Perfetto trace at exit, any other truthy value prints the
+/// per-phase report to stderr, unset/off attaches nothing.
+void attach_env_trace(splitc::Machine& machine) {
+  machine.set_trace(trace::env_tracer());
+}
+
 int cmd_generate(const Args& args) {
   const auto image = generate_image(args.require("kind"), args);
   img::write_pgm_file(args.require("out"), image);
@@ -141,6 +149,7 @@ int cmd_histogram(const Args& args) {
   const std::uint32_t k = args.get_u32("k", 256);
   const std::uint32_t p = args.get_u32("p", 16);
   splitc::Machine machine(p);
+  attach_env_trace(machine);
   hist::HistPhases phases;
   const auto counts = hist::histogram_parallel(machine, image, k, &phases);
   std::uint64_t total = 0;
@@ -171,6 +180,7 @@ int cmd_components(const Args& args) {
   const auto algo = args.get("algo").value_or("merge");
 
   splitc::Machine machine(p);
+  attach_env_trace(machine);
   util::Timer timer;
   img::LabelImage labels;
   if (algo == "merge") {
@@ -232,6 +242,7 @@ int cmd_equalize(const Args& args) {
   const std::uint32_t k = args.get_u32("k", 256);
   const std::uint32_t p = args.get_u32("p", 16);
   splitc::Machine machine(p);
+  attach_env_trace(machine);
   const img::TileLayout layout(image.height(), image.width(), p);
   splitc::Spread<std::uint8_t> tiles(machine, layout.tile_sizes());
   layout.scatter(image, tiles);
@@ -257,6 +268,7 @@ int cmd_morph(const Args& args) {
   } else if (op == "erode" || op == "dilate") {
     // Single-step operations run on the virtual machine.
     splitc::Machine machine(p);
+    attach_env_trace(machine);
     const img::TileLayout layout(image.height(), image.width(), p);
     splitc::Spread<std::uint8_t> tiles(machine, layout.tile_sizes());
     splitc::Spread<std::uint8_t> out(machine, layout.tile_sizes());

@@ -453,6 +453,9 @@ void scan_file(const LexedFile& file, std::vector<Finding>* out) {
   int last_if_line = 0;
   int callable_counter = 0;
   int scope_counter = 0;
+  // Token index of a `{` that opens a TRACE_SPAN body (always the token
+  // right after the macro's `)`, so a stale value can never collide).
+  std::size_t trace_brace = 0;
   // Barrier-delimited region id.  Barriers/collectives start a fresh id;
   // entering a nested callable starts a fresh id and leaving it restores
   // the enclosing one, so an inline lambda (a sort comparator, say) does
@@ -602,6 +605,23 @@ void scan_file(const LexedFile& file, std::vector<Finding>* out) {
       continue;
     }
 
+    // ---- TRACE_* instrumentation macros (histcc/trace/trace.hpp) --------
+    // TRACE_SCOPE(...) declares an RAII object and TRACE_SPAN(...) { ... }
+    // wraps its block in an if-with-initializer; neither changes control
+    // flow or rank-uniformity.  Skip the argument list without consuming a
+    // `pending` control header (so `if (c) TRACE_SPAN(...) { ... }` still
+    // attaches the brace as the control body), and remember where a
+    // TRACE_SPAN body would open: that brace follows `)` and would
+    // otherwise be misread as a lambda body, severing the barrier region
+    // and hiding divergent barriers inside the span (R1 false negatives).
+    if (tok.kind == TokKind::kIdent && tok.text.rfind("TRACE_", 0) == 0 &&
+        is_punct(t, i + 1, "(")) {
+      const std::size_t close = match_forward(t, i + 1, "(", ")");
+      trace_brace = close + 1;
+      i = close;
+      continue;
+    }
+
     // ---- braces / statement ends --------------------------------------
     if (is_punct(t, i, "{")) {
       Scope s;
@@ -618,6 +638,9 @@ void scan_file(const LexedFile& file, std::vector<Finding>* out) {
         s.rank_dep = else_rank_dep;
         s.header_line = else_line;
         else_pending = false;
+      } else if (i == trace_brace) {
+        // TRACE_SPAN body at statement level: a transparent block scope,
+        // not a callable (see the TRACE_* handler above).
       } else if (is_callable_brace(i)) {
         // Function or lambda body: a new callable with its own regions.
         s.is_callable = true;
