@@ -25,10 +25,101 @@ using namespace histcc;
 /// Record one (implementation, image) measurement: table row fields plus
 /// a JSON record with pixels/second throughput.
 void report(bench::JsonReport& json, const std::string& name,
-            std::uint32_t p, std::uint32_t n, bench::Timing timing) {
+            std::uint32_t p, std::uint32_t n, bench::Timing timing,
+            std::vector<std::pair<std::string, double>> extra = {}) {
   const double pixels = static_cast<double>(n) * static_cast<double>(n);
   json.add(name + "_n" + std::to_string(n), p, timing.mean_s * 1e9,
-           timing.min_s * 1e9, pixels / timing.mean_s);
+           timing.min_s * 1e9, pixels / timing.mean_s, std::move(extra));
+}
+
+/// Sampling rate of the always-on production tracing preset measured by
+/// the *_traced16 records: kernel spans decimated to every 16th call.
+constexpr std::uint32_t kSampledEvery = 16;
+
+/// Measure a VM bench untraced and with `sampled` attached (kernel
+/// spans at 1/16 — the always-on production preset) in alternating
+/// repetitions, so slow host drift (thermal throttling, co-tenants)
+/// lands on both sides equally and the best-of-reps ratio is a fair
+/// overhead estimate even on noisy shared machines (`overhead_pct`,
+/// docs/tracing.md targets <= 2%).  The tracer is cleared per traced
+/// repetition so span buffers never grow across reps and the per-thread
+/// sampling counters restart, keeping the measured work identical rep
+/// over rep; on return `sampled` holds exactly the final traced
+/// repetition's spans, ready for the rescale check below.  Returns
+/// {untraced, traced} timings.
+template <typename Fn>
+std::pair<bench::Timing, bench::Timing> sample_paired16(
+    splitc::Machine& machine, histcc::trace::Tracer& sampled,
+    histcc::trace::Tracer* restore, int reps, Fn&& fn) {
+  sampled.set_sampling(
+      histcc::trace::SamplingPolicy::kernels(kSampledEvery));
+  double total_off = 0.0, best_off = 1e300;
+  double total_on = 0.0, best_on = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    machine.set_trace(restore);
+    {
+      util::Timer timer;
+      fn();
+      const double s = timer.seconds();
+      total_off += s;
+      if (s < best_off) best_off = s;
+    }
+    machine.set_trace(&sampled);
+    sampled.clear();
+    {
+      util::Timer timer;
+      fn();
+      const double s = timer.seconds();
+      total_on += s;
+      if (s < best_on) best_on = s;
+    }
+  }
+  machine.set_trace(restore);
+  return {bench::Timing{total_off / reps, best_off},
+          bench::Timing{total_on / reps, best_on}};
+}
+
+/// Spans in the four sampled kernel categories.
+[[nodiscard]] std::uint64_t kernel_span_count(
+    const histcc::trace::Tracer& tracer) {
+  std::uint64_t n = 0;
+  for (const auto& span : tracer.spans()) {
+    const auto cat = histcc::trace::category_of(span.name);
+    if (cat != histcc::trace::Category::kServe &&
+        cat != histcc::trace::Category::kOther) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+/// How far the phase report's rescaled kernel span totals land from the
+/// fully traced inventory of the identical run.  The report rescales by
+/// the measured decimation factor (PhaseRow::effective_rate, category
+/// spans-seen / spans-recorded), which reproduces per-category totals
+/// exactly on a deterministic run — the docs/tracing.md "within 5%"
+/// budget covers scheduling-dependent workloads, not this one.
+[[nodiscard]] double rescale_err_pct(const histcc::trace::Tracer& sampled,
+                                     const histcc::trace::Tracer& full) {
+  double rescaled = 0.0;
+  for (const auto& row :
+       histcc::trace::phase_breakdown(sampled, splitc::host())) {
+    const auto cat = histcc::trace::category_of(row.name.c_str());
+    if (cat != histcc::trace::Category::kServe &&
+        cat != histcc::trace::Category::kOther) {
+      rescaled += static_cast<double>(row.spans) * row.effective_rate;
+    }
+  }
+  const auto exact = static_cast<double>(kernel_span_count(full));
+  return exact > 0 ? (rescaled / exact - 1.0) * 100.0 : 0.0;
+}
+
+/// Tracing overhead on the best-of-reps numbers — the same key
+/// bench_diff gates on; means are too noisy on shared hosts for a
+/// low-single-digit overhead target.
+[[nodiscard]] double overhead_pct(bench::Timing traced,
+                                  bench::Timing untraced) {
+  return (traced.min_s / untraced.min_s - 1.0) * 100.0;
 }
 
 }  // namespace
@@ -42,23 +133,37 @@ int main(int argc, char** argv) {
   // a tracer to every machine and writes a Chrome/Perfetto trace to OUT.
   std::uint32_t p = std::bit_floor(hw);
   std::string trace_path;
+  std::uint32_t trace_sample = 1;
+  const auto usage = [&] {
+    std::fprintf(stderr,
+                 "usage: %s [p] [--trace OUT.json] [--trace-sample N]   "
+                 "(p a power of two; N samples kernel spans 1/N)\n",
+                 argv[0]);
+    return 2;
+  };
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
     if (arg == "--trace" && a + 1 < argc) {
       trace_path = argv[++a];
       continue;
     }
+    if (arg == "--trace-sample" && a + 1 < argc) {
+      const long n = std::strtol(argv[++a], nullptr, 10);
+      if (n < 1) return usage();
+      trace_sample = static_cast<std::uint32_t>(n);
+      continue;
+    }
     const long requested = std::strtol(arg.c_str(), nullptr, 10);
     if (requested < 1 || std::bit_floor(static_cast<std::uint32_t>(
                              requested)) != requested) {
-      std::fprintf(stderr, "usage: %s [p] [--trace OUT.json]   (p a power "
-                           "of two)\n",
-                   argv[0]);
-      return 2;
+      return usage();
     }
     p = static_cast<std::uint32_t>(requested);
   }
   trace::Tracer tracer;
+  if (trace_sample > 1) {
+    tracer.set_sampling(trace::SamplingPolicy::kernels(trace_sample));
+  }
   trace::Tracer* const trace_sink = trace_path.empty() ? nullptr : &tracer;
   std::printf("Host comparison — wall-clock on this machine (%u hardware "
               "threads, virtual machine p = %u)\n\n",
@@ -82,21 +187,36 @@ int main(int argc, char** argv) {
           scene, ccseq::Connectivity::kEight,
           ccseq::ColourRule::kSameColour));
     });
-    const auto vm = bench::sample(3, [&] {
+    trace::Tracer sampled;
+    const auto [vm, vm16] = sample_paired16(machine, sampled, trace_sink, 11, [&] {
       benchmark::DoNotOptimize(
           cc::connected_components_parallel(machine, scene, options));
     });
+    // One fully traced rep of the same run: the rescale reference.
+    trace::Tracer full;
+    machine.set_trace(&full);
+    benchmark::DoNotOptimize(
+        cc::connected_components_parallel(machine, scene, options));
+    machine.set_trace(trace_sink);
     report(json, "cc_seq_unionfind", 1, n, seq);
     report(json, "cc_omp", p, n, omp);
     report(json, "cc_splitc_vm", p, n, vm);
+    report(json, "cc_splitc_vm_traced16", p, n, vm16,
+           {{"sample_every", static_cast<double>(kSampledEvery)},
+            {"overhead_pct", overhead_pct(vm16, vm)},
+            {"rescale_err_pct", rescale_err_pct(sampled, full)}});
 
     std::printf("connected components, %ux%u DARPA-like scene:\n", n, n);
     std::printf("  sequential union-find    %8.2f ms\n", seq.min_s * 1e3);
     std::printf("  OpenMP strip union-find  %8.2f ms  (speedup %.2fx)\n",
                 omp.min_s * 1e3, seq.min_s / omp.min_s);
     std::printf("  virtual machine (paper)  %8.2f ms  (simulation overhead "
-                "%.1fx)\n\n",
+                "%.1fx)\n",
                 vm.min_s * 1e3, vm.min_s / seq.min_s);
+    std::printf("  VM traced at 1/%-2u        %8.2f ms  (tracing overhead "
+                "%+.1f%%, rescale err %+.1f%%)\n\n",
+                kSampledEvery, vm16.min_s * 1e3, overhead_pct(vm16, vm),
+                rescale_err_pct(sampled, full));
   }
 
   for (const std::uint32_t n : {512u, 1024u}) {
@@ -109,18 +229,31 @@ int main(int argc, char** argv) {
     const auto omp = bench::sample(3, [&] {
       benchmark::DoNotOptimize(omp::histogram_omp(image, 256));
     });
-    const auto vm = bench::sample(3, [&] {
+    trace::Tracer sampled;
+    const auto [vm, vm16] = sample_paired16(machine, sampled, trace_sink, 11, [&] {
       benchmark::DoNotOptimize(hist::histogram_parallel(machine, image, 256));
     });
+    trace::Tracer full;
+    machine.set_trace(&full);
+    benchmark::DoNotOptimize(hist::histogram_parallel(machine, image, 256));
+    machine.set_trace(trace_sink);
     report(json, "hist_seq", 1, n, seq);
     report(json, "hist_omp", p, n, omp);
     report(json, "hist_splitc_vm", p, n, vm);
+    report(json, "hist_splitc_vm_traced16", p, n, vm16,
+           {{"sample_every", static_cast<double>(kSampledEvery)},
+            {"overhead_pct", overhead_pct(vm16, vm)},
+            {"rescale_err_pct", rescale_err_pct(sampled, full)}});
 
     std::printf("histogram (k=256), %ux%u:\n", n, n);
     std::printf("  sequential               %8.2f ms\n", seq.min_s * 1e3);
     std::printf("  OpenMP                   %8.2f ms  (speedup %.2fx)\n",
                 omp.min_s * 1e3, seq.min_s / omp.min_s);
-    std::printf("  virtual machine (paper)  %8.2f ms\n\n", vm.min_s * 1e3);
+    std::printf("  virtual machine (paper)  %8.2f ms\n", vm.min_s * 1e3);
+    std::printf("  VM traced at 1/%-2u        %8.2f ms  (tracing overhead "
+                "%+.1f%%, rescale err %+.1f%%)\n\n",
+                kSampledEvery, vm16.min_s * 1e3, overhead_pct(vm16, vm),
+                rescale_err_pct(sampled, full));
   }
 
   // Ragged-shape allocation footprint: the Spread payload bytes a cc +

@@ -17,6 +17,13 @@
 //      With the heterogeneous per-slot LRU cache (machines_per_slot
 //      auto) machines_built() stops growing after the first round; the
 //      legacy one-machine-per-slot mode rebuilds on every width switch.
+//   4. Sampled tracing — the same closed loop run twice with a live
+//      tracer, once unsampled and once at the always-on production
+//      preset (kernel spans 1/16 via trace_sample_every): per-job
+//      serve/run spans must stay exact (one per job in both runs), the
+//      kernel span inventory shrinks ~16x, and rescaling the sampled
+//      counts by the rate lands within a few percent of the unsampled
+//      inventory (docs/tracing.md).
 //
 // Results go to stdout and to BENCH_pipeline.json (name, p, mean/min ns
 // per job, jobs/second, plus latency percentiles and outcome counters).
@@ -24,7 +31,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -60,8 +69,8 @@ struct LoadResult {
 /// through three mixed-aspect job kinds so the ragged layout's routing
 /// exercises several machine widths at once.
 LoadResult run_closed_loop(std::uint32_t pool_size, int submitters,
-                           int jobs_per_submitter,
-                           trace::Tracer* trace_sink) {
+                           int jobs_per_submitter, trace::Tracer* trace_sink,
+                           std::uint32_t trace_sample_every = 1) {
   // 512x256 -> p=16, 128x128 -> p=4, 320x240 -> p=16; nothing square
   // about the mix is required any more (docs/layout.md).
   const auto grey_wide = make_shape_grey(512, 256, 16, 17);
@@ -72,6 +81,7 @@ LoadResult run_closed_loop(std::uint32_t pool_size, int submitters,
   options.pool_size = pool_size;
   options.max_procs = 16;
   options.trace = trace_sink;
+  options.trace_sample_every = trace_sample_every;
   serve::Pipeline pipeline(options);
 
   std::atomic<std::uint64_t> ok{0};
@@ -106,13 +116,24 @@ int main(int argc, char** argv) {
   // experiment (per-job serve spans + kernel phases on the leased
   // machines) and writes a Chrome/Perfetto trace to OUT at the end.
   std::string trace_path;
+  std::uint32_t trace_sample = 1;
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
     if (arg == "--trace" && a + 1 < argc) {
       trace_path = argv[++a];
       continue;
     }
-    std::fprintf(stderr, "usage: %s [--trace OUT.json]\n", argv[0]);
+    if (arg == "--trace-sample" && a + 1 < argc) {
+      const long n = std::strtol(argv[++a], nullptr, 10);
+      if (n < 1) {
+        std::fprintf(stderr, "--trace-sample needs N >= 1\n");
+        return 2;
+      }
+      trace_sample = static_cast<std::uint32_t>(n);
+      continue;
+    }
+    std::fprintf(stderr, "usage: %s [--trace OUT.json] [--trace-sample N]\n",
+                 argv[0]);
     return 2;
   }
   trace::Tracer tracer;
@@ -132,8 +153,8 @@ int main(int argc, char** argv) {
               "p50 ms", "p99 ms", "queue ms", "machines");
   for (const std::uint32_t pool_size : {1u, 2u, 4u}) {
     const int submitters = static_cast<int>(pool_size) * 2;
-    const auto r =
-        run_closed_loop(pool_size, submitters, kJobsPerSubmitter, trace_sink);
+    const auto r = run_closed_loop(pool_size, submitters, kJobsPerSubmitter,
+                                   trace_sink, trace_sample);
     const auto total =
         static_cast<std::uint64_t>(submitters) * kJobsPerSubmitter;
     const double jobs_per_s = static_cast<double>(r.jobs) / r.wall_s;
@@ -258,6 +279,100 @@ int main(int argc, char** argv) {
                 {"machines_built_final",
                  static_cast<double>(metrics.machines_built)}});
     }
+  }
+
+  // Experiment 4: sampled tracing.  The pool-2 closed loop runs twice
+  // against dedicated tracers — unsampled, then at the always-on preset
+  // (kernel spans 1/16 via PipelineOptions::trace_sample_every).  The
+  // serve layer's per-job spans must stay exact in both runs (one
+  // serve/run per executed job — billing and SLO accounting depend on
+  // it), while the kernel inventory shrinks ~16x and rescaling it by the
+  // rate estimates the unsampled inventory within a few percent.
+  std::printf("\nsampled tracing: pool 2 closed loop, kernel spans 1/16, "
+              "serve spans exact\n");
+  {
+    constexpr std::uint32_t kSampleEvery = 16;
+    constexpr std::uint32_t kPool = 2;
+    constexpr int kSubmitters = 4;
+    // Twice the scaling experiment's jobs: the rescaled estimate
+    // overshoots by at most N-1 spans per (thread, category) stream
+    // (the first span is always admitted), so relative error shrinks
+    // with stream length — 2x the spans halves it.
+    constexpr int kJobs = kJobsPerSubmitter * 2;
+    const auto total = static_cast<std::uint64_t>(kSubmitters) * kJobs;
+
+    const auto count_spans = [](const trace::Tracer& t, std::uint64_t* serve_run,
+                                std::uint64_t* kernel) {
+      *serve_run = 0;
+      *kernel = 0;
+      for (const auto& span : t.spans()) {
+        if (std::string_view(span.name) == "serve/run") ++*serve_run;
+        const auto cat = trace::category_of(span.name);
+        if (cat == trace::Category::kBdm || cat == trace::Category::kHist ||
+            cat == trace::Category::kCc || cat == trace::Category::kImg) {
+          ++*kernel;
+        }
+      }
+    };
+
+    trace::Tracer full;
+    const auto r_full = run_closed_loop(kPool, kSubmitters, kJobs, &full, 1);
+    std::uint64_t serve_full = 0;
+    std::uint64_t kernel_full = 0;
+    count_spans(full, &serve_full, &kernel_full);
+
+    trace::Tracer sampled;
+    const auto r16 =
+        run_closed_loop(kPool, kSubmitters, kJobs, &sampled, kSampleEvery);
+    std::uint64_t serve16 = 0;
+    std::uint64_t kernel16 = 0;
+    count_spans(sampled, &serve16, &kernel16);
+
+    // Nominal xN rescaling over-estimates (first spans are always
+    // admitted); the phase report's measured rate (PhaseRow
+    // effective_rate, seen/recorded) reproduces category totals.
+    const double rescaled_nominal =
+        static_cast<double>(kernel16) * static_cast<double>(kSampleEvery);
+    double rescaled = 0.0;
+    for (const auto& row : trace::phase_breakdown(sampled, splitc::host())) {
+      const auto cat = trace::category_of(row.name.c_str());
+      if (cat != trace::Category::kServe && cat != trace::Category::kOther) {
+        rescaled += static_cast<double>(row.spans) * row.effective_rate;
+      }
+    }
+    const auto err = [&](double estimate) {
+      return kernel_full > 0
+                 ? (estimate / static_cast<double>(kernel_full) - 1.0) * 100.0
+                 : 0.0;
+    };
+    const double rescale_err_pct = err(rescaled);
+    const double jobs_per_s = static_cast<double>(r16.jobs) / r16.wall_s;
+    const double mean_job_ns = r16.wall_s * 1e9 / static_cast<double>(total);
+    std::printf("  serve/run spans: %llu unsampled, %llu sampled (jobs %llu "
+                "— %s)\n",
+                static_cast<unsigned long long>(serve_full),
+                static_cast<unsigned long long>(serve16),
+                static_cast<unsigned long long>(total),
+                serve16 == total ? "exact" : "MISMATCH");
+    std::printf("  kernel spans: %llu unsampled -> %llu at 1/%u; measured-"
+                "rate rescale = %.0f (%+.1f%%), nominal x%u = %.0f "
+                "(%+.1f%%)\n",
+                static_cast<unsigned long long>(kernel_full),
+                static_cast<unsigned long long>(kernel16), kSampleEvery,
+                rescaled, rescale_err_pct, kSampleEvery, rescaled_nominal,
+                err(rescaled_nominal));
+    json.add("closed_loop_traced16", 16, mean_job_ns, mean_job_ns, jobs_per_s,
+             {{"sample_every", static_cast<double>(kSampleEvery)},
+              {"jobs_ok", static_cast<double>(r16.jobs)},
+              {"jobs_total", static_cast<double>(total)},
+              {"serve_run_spans", static_cast<double>(serve16)},
+              {"kernel_spans_unsampled", static_cast<double>(kernel_full)},
+              {"kernel_spans_sampled", static_cast<double>(kernel16)},
+              {"rescale_err_pct", rescale_err_pct},
+              {"rescale_err_nominal_pct", err(rescaled_nominal)},
+              {"wall_s_unsampled", r_full.wall_s},
+              {"wall_s_sampled", r16.wall_s},
+              {"wall_p99_s", r16.metrics.wall_p99_s}});
   }
 
   if (json.write()) {

@@ -82,6 +82,14 @@ struct PipelineOptions {
   /// `trace::env_tracer()` (the HISTCC_TRACE environment variable), which
   /// is itself null when tracing was not requested.
   trace::Tracer* trace = nullptr;
+  /// Sampling rate for *kernel* spans (bdm/hist/cc/img categories) on the
+  /// resolved tracer: > 1 installs SamplingPolicy::kernels(N) at pipeline
+  /// construction, recording every Nth kernel span per thread — the
+  /// always-on production preset (docs/tracing.md).  Per-job serve spans
+  /// are never touched by this knob: they stay exact at rate 1 so job
+  /// observability remains complete.  0/1 leaves the tracer's existing
+  /// policy (e.g. one installed via HISTCC_TRACE=...:bdm=16) unchanged.
+  std::uint32_t trace_sample_every = 1;
 };
 
 /// The virtual-processor count routing gives an image of this shape under

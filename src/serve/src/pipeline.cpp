@@ -119,6 +119,11 @@ Pipeline::Pipeline(PipelineOptions options)
             resolve_machines_per_slot(options_), options_.spread_layout),
       queue_(std::make_unique<JobQueue<QueuedJob>>(options_.queue_capacity)) {
   tracer_ = options_.trace != nullptr ? options_.trace : trace::env_tracer();
+  if (tracer_ != nullptr && options_.trace_sample_every > 1) {
+    // Kernel spans sampled, serve job spans exact (docs/tracing.md).
+    tracer_->set_sampling(
+        trace::SamplingPolicy::kernels(options_.trace_sample_every));
+  }
   workers_.reserve(options_.pool_size);
   for (std::uint32_t i = 0; i < options_.pool_size; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
@@ -260,7 +265,15 @@ void Pipeline::worker_loop(std::uint32_t worker) {
   // the metrics always agree on every interval.
   const auto record = [&](const char* name, Clock::time_point from,
                           Clock::time_point to, std::uint64_t arg) {
-    if (tracer_ == nullptr || !tracer_->enabled()) return;
+    // Serve spans bypass trace::Scope (recorded after the fact from the
+    // job's timestamps), so they consult the sampling gate themselves.
+    // The serve category defaults to rate 1 — exact per-job spans — and
+    // trace_sample_every never touches it, but an explicit
+    // HISTCC_TRACE=...:serve=N is still honored here.
+    if (tracer_ == nullptr || !tracer_->enabled() ||
+        !tracer_->should_record(name)) {
+      return;
+    }
     trace::Span span;
     span.name = name;
     span.tid = tid;

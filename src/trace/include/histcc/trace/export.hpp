@@ -39,13 +39,26 @@ void write_chrome_json(const Tracer& tracer, std::ostream& out);
 /// in order of first appearance — i.e. execution order).
 struct PhaseRow {
   std::string name;
-  std::uint64_t spans = 0;        ///< span records aggregated
+  std::uint64_t spans = 0;        ///< span records aggregated (recorded only)
   double wall_s = 0.0;            ///< max over tracks of summed durations
   double total_wall_s = 0.0;      ///< sum over all spans (cpu-seconds)
   std::uint64_t words = 0;        ///< remote words moved, all ranks
   std::uint64_t messages = 0;     ///< remote transfers, all ranks
   std::uint64_t barriers = 0;     ///< barrier crossings, all ranks
   double modeled_comm_s = 0.0;    ///< max over tracks of modeled Tcomm
+  /// The tracer's sampling rate for this phase's category at export time:
+  /// only every Nth span (per thread) was recorded, so every aggregate
+  /// above is a sample of the phase.  Consumers must rescale to estimate
+  /// phase totals — write_phase_report does, and flags the rescaled rows
+  /// — or risk silently under-reporting sampled phases by up to N.
+  std::uint32_t sample_every = 1;
+  /// The *measured* decimation factor to rescale by: category-wide
+  /// spans-seen / spans-recorded (Tracer::sampled_seen()), so rescaled
+  /// span totals summed over a category equal the unsampled totals
+  /// exactly; the nominal sample_every is only an upper bound because
+  /// the first span per thread is always admitted.  1.0 for unsampled
+  /// categories.
+  double effective_rate = 1.0;
 };
 
 /// Aggregate the tracer's spans into per-phase rows.  Wall time per
@@ -58,6 +71,10 @@ struct PhaseRow {
     const Tracer& tracer, const splitc::MachineProfile& profile);
 
 /// Write the plain-text per-phase report (modeled-vs-wall side by side).
+/// Rows of sampled categories (sample_every > 1) are printed rescaled —
+/// every total multiplied by the rate — with an `xN` marker column and a
+/// trailing note, so a sampled trace reports estimated phase totals
+/// instead of silently under-reporting by N.
 void write_phase_report(const Tracer& tracer,
                         const splitc::MachineProfile& profile,
                         std::ostream& out);

@@ -28,6 +28,16 @@
 /// `HISTCC_TRACE` environment variable (see `env_tracer()`) for
 /// harnesses that should not need a code change.
 ///
+/// Sampling: always-on production tracing cannot afford one span per BDM
+/// primitive call (≈6–14% on the VM benches), so a `SamplingPolicy` on
+/// the tracer records only every Nth span per *category* (the `prefix/`
+/// of the span name: bdm, hist, cc, img, serve).  The per-category call
+/// counters live in the calling thread's buffer, so hot call sites stay
+/// lock-free; a skipped span costs the category lookup plus one TLS
+/// counter increment — no clock read, no CommStats snapshot, no record.
+/// Category counters are deterministic per thread, so a fixed schedule
+/// reproduces the same sampled span inventory run over run.
+///
 /// Epoch alignment: between two consecutive global barriers every rank is
 /// in the same epoch, so spans from different ranks with overlapping
 /// [begin_epoch, end_epoch] intervals describe the same algorithmic
@@ -40,11 +50,15 @@
 /// serve pipeline is shut down; both joins/parks provide the needed
 /// happens-before edge.
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
 #include <vector>
 
 #include "histcc/splitc/machine.hpp"
@@ -99,6 +113,99 @@ struct CounterSample {
   double value = 0.0;
 };
 
+/// Span categories for sampling, keyed by the `prefix/` of the span
+/// name.  Spans outside the known prefixes (tests, ad-hoc host spans)
+/// fall into kOther.
+enum class Category : std::uint8_t {
+  kBdm = 0,    ///< "bdm/..." — the BDM primitive layer (hottest sites)
+  kHist = 1,   ///< "hist/..." — histogram/equalize kernel phases
+  kCc = 2,     ///< "cc/..." — connected-components / label-prop phases
+  kImg = 3,    ///< "img/..." — stencil halo exchanges
+  kServe = 4,  ///< "serve/..." — per-job pipeline stages
+  kOther = 5,  ///< anything else
+};
+inline constexpr std::size_t kNumCategories = 6;
+
+/// Human name of a category ("bdm", "hist", ...), for exporters and the
+/// HISTCC_TRACE `cat=N` syntax.
+[[nodiscard]] const char* category_name(Category cat) noexcept;
+
+/// The category of a span name, by matching its `prefix/`.  Span names
+/// are static literals, so the few byte compares are the whole cost.
+[[nodiscard]] inline Category category_of(const char* name) noexcept {
+  switch (name[0]) {
+    case 'b':
+      if (name[1] == 'd' && name[2] == 'm' && name[3] == '/') {
+        return Category::kBdm;
+      }
+      break;
+    case 'h':
+      if (name[1] == 'i' && name[2] == 's' && name[3] == 't' &&
+          name[4] == '/') {
+        return Category::kHist;
+      }
+      break;
+    case 'c':
+      if (name[1] == 'c' && name[2] == '/') return Category::kCc;
+      break;
+    case 'i':
+      if (name[1] == 'm' && name[2] == 'g' && name[3] == '/') {
+        return Category::kImg;
+      }
+      break;
+    case 's':
+      if (name[1] == 'e' && name[2] == 'r' && name[3] == 'v' &&
+          name[4] == 'e' && name[5] == '/') {
+        return Category::kServe;
+      }
+      break;
+    default: break;
+  }
+  return Category::kOther;
+}
+
+/// Deterministic per-category span sampling: record every Nth span of a
+/// category (per thread), skip the rest.  1 records everything (the
+/// default); 0 is treated as 1.  The first span of a category on each
+/// thread is always recorded, then every Nth after it, so even N much
+/// larger than the call count leaves one representative span.
+struct SamplingPolicy {
+  std::array<std::uint32_t, kNumCategories> every{1, 1, 1, 1, 1, 1};
+
+  [[nodiscard]] std::uint32_t of(Category cat) const noexcept {
+    return every[static_cast<std::size_t>(cat)];
+  }
+  void set(Category cat, std::uint32_t n) noexcept {
+    every[static_cast<std::size_t>(cat)] = n == 0 ? 1 : n;
+  }
+
+  /// Sample the kernel categories (bdm/hist/cc/img) at N, keeping serve
+  /// job spans and uncategorised spans exact — the always-on production
+  /// preset: per-job observability stays complete while the per-primitive
+  /// firehose is decimated.
+  [[nodiscard]] static SamplingPolicy kernels(std::uint32_t n) noexcept {
+    SamplingPolicy policy;
+    policy.set(Category::kBdm, n);
+    policy.set(Category::kHist, n);
+    policy.set(Category::kCc, n);
+    policy.set(Category::kImg, n);
+    return policy;
+  }
+
+  /// Every category at N, including serve.
+  [[nodiscard]] static SamplingPolicy all(std::uint32_t n) noexcept {
+    SamplingPolicy policy;
+    for (std::size_t c = 0; c < kNumCategories; ++c) {
+      policy.set(static_cast<Category>(c), n);
+    }
+    return policy;
+  }
+
+  [[nodiscard]] bool operator==(const SamplingPolicy& other) const noexcept {
+    return every == other.every;
+  }
+};
+
 /// Span/counter collector.  One tracer can serve any number of machines
 /// and threads; see the thread-safety contract in the file comment.
 class Tracer {
@@ -116,6 +223,41 @@ class Tracer {
   }
   [[nodiscard]] bool enabled() const noexcept {
     return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Install a sampling policy (all categories exact by default).  Safe
+  /// to call while spans are being recorded (the per-category rates are
+  /// relaxed atomics), but for a deterministic sampled inventory set the
+  /// policy while no traced program is mid-run.
+  void set_sampling(const SamplingPolicy& policy) noexcept {
+    for (std::size_t c = 0; c < kNumCategories; ++c) {
+      sampling_[c].store(policy.every[c] == 0 ? 1 : policy.every[c],
+                         std::memory_order_relaxed);
+    }
+  }
+  [[nodiscard]] SamplingPolicy sampling() const noexcept {
+    SamplingPolicy policy;
+    for (std::size_t c = 0; c < kNumCategories; ++c) {
+      policy.every[c] = sampling_[c].load(std::memory_order_relaxed);
+    }
+    return policy;
+  }
+  [[nodiscard]] std::uint32_t sample_every(Category cat) const noexcept {
+    return sampling_[static_cast<std::size_t>(cat)].load(
+        std::memory_order_relaxed);
+  }
+
+  /// Sampling gate for a span about to open: true when the span must be
+  /// recorded.  At rate 1 (the default) this is one relaxed load; at
+  /// rate N it additionally bumps the calling thread's category counter
+  /// and admits every Nth call — the whole cost of a skipped span.
+  [[nodiscard]] bool should_record(const char* name) noexcept {
+    const Category cat = category_of(name);
+    const std::uint32_t every =
+        sampling_[static_cast<std::size_t>(cat)].load(
+            std::memory_order_relaxed);
+    if (every <= 1) return true;
+    return admit_sampled(cat, every);
   }
 
   /// Nanoseconds since this tracer was constructed.
@@ -141,12 +283,34 @@ class Tracer {
   [[nodiscard]] std::vector<Span> spans() const;
   [[nodiscard]] std::vector<CounterSample> counters() const;
 
-  /// Drop all recorded data (buffers stay registered).  Same quiescence
-  /// requirement as spans().
+  /// Per-category spans *seen* (recorded + skipped) while that category
+  /// was sampled, summed over threads.  Together with the recorded span
+  /// counts this gives the measured sampling ratio, which rescales a
+  /// sampled trace exactly: seen / recorded is the true decimation
+  /// factor of what actually ran, where the nominal policy rate N is
+  /// only an upper bound (the first span per thread is always admitted,
+  /// so short streams record proportionally more).  Categories at rate 1
+  /// never bump these counters — their spans are already exact.  Same
+  /// quiescence requirement as spans().
+  [[nodiscard]] std::array<std::uint64_t, kNumCategories> sampled_seen()
+      const;
+
+  /// Drop all recorded data and reset the per-thread sampling counters
+  /// (buffers stay registered).  Same quiescence requirement as spans().
   void clear();
+
+  /// Registered per-thread buffers — one per thread that ever recorded
+  /// through this tracer, never more (a thread switching between live
+  /// tracers reuses its buffer on return).  Observability hook for the
+  /// buffer-reuse tests; same quiescence requirement as spans().
+  [[nodiscard]] std::size_t buffer_count() const;
 
  private:
   struct Buffer {
+    std::thread::id owner;  ///< registering thread, for TLS-miss re-lookup
+    /// Per-category spans seen (recorded + skipped) by the owner thread —
+    /// the sampling counters.  Only the owner touches them.
+    std::array<std::uint64_t, kNumCategories> seen{};
     std::vector<Span> spans;
     std::vector<CounterSample> counters;
   };
@@ -154,19 +318,51 @@ class Tracer {
   /// The calling thread's buffer, registering it on first use.
   Buffer& local_buffer();
 
+  /// Slow path of should_record(): bump the thread's category counter
+  /// and admit every `every`th call (the first call always records).
+  [[nodiscard]] bool admit_sampled(Category cat, std::uint32_t every);
+
   Clock::time_point origin_;
   std::atomic<bool> enabled_{true};
+  std::array<std::atomic<std::uint32_t>, kNumCategories> sampling_{
+      1u, 1u, 1u, 1u, 1u, 1u};
   const std::uint64_t id_;  ///< process-unique, guards stale TLS caches
   mutable std::mutex registry_mutex_;
   std::vector<std::unique_ptr<Buffer>> buffers_;
 };
 
+/// Parsed form of a `HISTCC_TRACE` value.  Grammar (case-insensitive,
+/// surrounding whitespace ignored):
+///
+///   HISTCC_TRACE=0 | off | false | ""        tracing disabled
+///   HISTCC_TRACE=OUT.json[:cat=N,...]        Chrome/Perfetto JSON to OUT
+///   HISTCC_TRACE=report[:cat=N,...]          phase report to stderr
+///   HISTCC_TRACE=ANY[:cat=N,...]             any other word: stderr report
+///
+/// `cat` is a category name (bdm, hist, cc, img, serve, other) or the
+/// presets `kernels` (bdm+hist+cc+img) and `all`; `N` is the sampling
+/// rate (record every Nth span of that category per thread).  Pairs are
+/// separated by ',' or ':'.  Example: `HISTCC_TRACE=trace.json:bdm=16`.
+struct EnvSpec {
+  bool enabled = false;
+  std::string json_path;  ///< empty = phase report to stderr at exit
+  SamplingPolicy sampling;
+  std::string error;  ///< non-empty: diagnostic for a malformed suffix
+};
+
+/// Parse a HISTCC_TRACE value.  Never throws; a malformed `cat=N` pair
+/// sets `error` (and is otherwise ignored) so a typo degrades to exact
+/// tracing with a warning instead of silently disabling the trace.
+[[nodiscard]] EnvSpec parse_trace_env(std::string_view value);
+
 /// The process-wide tracer requested by the `HISTCC_TRACE` environment
-/// variable, or nullptr when the variable is unset/"0"/"off".  Any other
-/// value enables tracing; a value ending in ".json" additionally writes
+/// variable, or nullptr when the variable is unset/empty/"0"/"off"/
+/// "false" (case- and whitespace-insensitive).  Any other value enables
+/// tracing; a value whose destination ends in ".json" (any case) writes
 /// a Chrome/Perfetto trace there at process exit, anything else writes
-/// the plain-text phase report to stderr at exit.  The tracer lives for
-/// the whole process (intentionally leaked: worker threads may still
+/// the plain-text phase report to stderr at exit.  A `:cat=N` suffix
+/// installs a SamplingPolicy (see parse_trace_env).  The tracer lives
+/// for the whole process (intentionally leaked: worker threads may still
 /// hold buffer references during static destruction).
 [[nodiscard]] Tracer* env_tracer();
 
@@ -197,7 +393,10 @@ class Scope {
   }
 
   Scope(Tracer* tracer, const char* name, std::uint64_t arg = 0) noexcept {
-    if (tracer == nullptr || !tracer->enabled()) return;
+    if (tracer == nullptr || !tracer->enabled() ||
+        !tracer->should_record(name)) {
+      return;  // skipped spans never read the clock or CommStats
+    }
     tracer_ = tracer;
     span_.name = name;
     span_.arg = arg;

@@ -1,6 +1,7 @@
 #include "histcc/trace/export.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -97,7 +98,27 @@ void write_chrome_json(const Tracer& tracer, std::ostream& out) {
   }
 
   out << "],\n\"displayTimeUnit\":\"ms\",\"otherData\":{\"tool\":"
-         "\"histcc::trace\",\"schema\":1}}\n";
+         "\"histcc::trace\",\"schema\":2";
+  // Sampled categories carry their rate so a consumer can rescale span
+  // counts/volumes: only every Nth span per thread was recorded.
+  const SamplingPolicy sampling = tracer.sampling();
+  bool any_sampled = false;
+  for (std::size_t c = 0; c < kNumCategories; ++c) {
+    if (sampling.every[c] > 1) any_sampled = true;
+  }
+  if (any_sampled) {
+    out << ",\"sampling\":{";
+    bool first_cat = true;
+    for (std::size_t c = 0; c < kNumCategories; ++c) {
+      if (sampling.every[c] <= 1) continue;
+      if (!first_cat) out << ",";
+      first_cat = false;
+      out << "\"" << category_name(static_cast<Category>(c))
+          << "\":" << sampling.every[c];
+    }
+    out << "}";
+  }
+  out << "}}\n";
 }
 
 bool write_chrome_json(const Tracer& tracer, const std::string& path) {
@@ -155,8 +176,28 @@ std::vector<PhaseRow> phase_breakdown(const Tracer& tracer,
             [](const PhaseAccum* a, const PhaseAccum* b) {
               return a->order < b->order;
             });
+  const SamplingPolicy sampling = tracer.sampling();
+  // Measured decimation per category: seen / recorded.  Summing a
+  // category's rescaled span counts then reproduces the unsampled count
+  // exactly, which the nominal rate N cannot (first spans are always
+  // admitted, so short streams record more than 1/N).
+  const std::array<std::uint64_t, kNumCategories> seen =
+      tracer.sampled_seen();
+  std::array<std::uint64_t, kNumCategories> recorded{};
+  for (const Span& s : spans) {
+    recorded[static_cast<std::size_t>(category_of(s.name))] += 1;
+  }
   for (const PhaseAccum* acc : ordered) {
     PhaseRow row = acc->row;
+    const Category cat = category_of(row.name.c_str());
+    row.sample_every = sampling.of(cat);
+    const std::uint64_t cat_seen = seen[static_cast<std::size_t>(cat)];
+    const std::uint64_t cat_recorded =
+        recorded[static_cast<std::size_t>(cat)];
+    if (row.sample_every > 1 && cat_seen > 0 && cat_recorded > 0) {
+      row.effective_rate = static_cast<double>(cat_seen) /
+                           static_cast<double>(cat_recorded);
+    }
     for (const auto& [tid, track] : acc->tracks) {
       row.wall_s =
           std::max(row.wall_s, static_cast<double>(track.wall_ns) * 1e-9);
@@ -173,24 +214,54 @@ void write_phase_report(const Tracer& tracer,
                         const splitc::MachineProfile& profile,
                         std::ostream& out) {
   const std::vector<PhaseRow> rows = phase_breakdown(tracer, profile);
+  bool any_sampled = false;
+  for (const PhaseRow& row : rows) {
+    if (row.sample_every > 1) any_sampled = true;
+  }
   out << "histcc::trace per-phase breakdown (profile: " << profile.name
       << ")\n";
   out << std::left << std::setw(28) << "phase" << std::right << std::setw(8)
       << "spans" << std::setw(12) << "wall ms" << std::setw(12) << "cpu ms"
       << std::setw(12) << "words" << std::setw(10) << "msgs" << std::setw(14)
-      << "modeled ms" << "\n";
-  out << std::string(96, '-') << "\n";
+      << "modeled ms";
+  if (any_sampled) out << std::setw(8) << "rate";
+  out << "\n";
+  out << std::string(any_sampled ? 104 : 96, '-') << "\n";
   std::ostringstream body;
   body << std::fixed;
   for (const PhaseRow& row : rows) {
+    // Sampled rows are rescaled by the *measured* decimation factor
+    // (spans seen / spans recorded for the row's category): the recorded
+    // aggregates are a 1-in-N sample of the phase, and raw sampled
+    // numbers would silently under-report.  Category-wide rescaled span
+    // totals are exact by construction; per-row numbers are estimates.
+    const double n = row.effective_rate;
+    const auto scale_count = [n](std::uint64_t count) {
+      return static_cast<std::uint64_t>(
+          static_cast<double>(count) * n + 0.5);
+    };
     body << std::left << std::setw(28) << row.name << std::right
-         << std::setw(8) << row.spans << std::setw(12) << std::setprecision(3)
-         << row.wall_s * 1e3 << std::setw(12) << std::setprecision(3)
-         << row.total_wall_s * 1e3 << std::setw(12) << row.words
-         << std::setw(10) << row.messages << std::setw(14)
-         << std::setprecision(4) << row.modeled_comm_s * 1e3 << "\n";
+         << std::setw(8) << scale_count(row.spans) << std::setw(12)
+         << std::setprecision(3) << row.wall_s * n * 1e3 << std::setw(12)
+         << std::setprecision(3) << row.total_wall_s * n * 1e3
+         << std::setw(12) << scale_count(row.words) << std::setw(10)
+         << scale_count(row.messages) << std::setw(14)
+         << std::setprecision(4) << row.modeled_comm_s * n * 1e3;
+    if (any_sampled) {
+      if (row.sample_every > 1) {
+        body << std::setw(8) << ("x" + std::to_string(row.sample_every));
+      } else {
+        body << std::setw(8) << "";
+      }
+    }
+    body << "\n";
   }
   out << body.str();
+  if (any_sampled) {
+    out << "(xN rows are sampled at nominal 1/N and rescaled by the "
+           "measured rate: estimated per-phase totals, exact per-category "
+           "span totals)\n";
+  }
 }
 
 }  // namespace histcc::trace

@@ -1,6 +1,7 @@
 #include "histcc/trace/trace.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -18,13 +19,37 @@ namespace {
 /// address can never satisfy a stale cache entry.
 std::atomic<std::uint64_t> g_next_tracer_id{1};
 
+/// Per-thread cache of (tracer id -> buffer).  A small direct-mapped
+/// table instead of the old single entry: a pool worker alternating
+/// between two live tracers (a per-job test tracer and the env tracer)
+/// must hit its existing buffers, not register a fresh one per switch.
+/// Eviction is harmless — the slow path re-finds the thread's buffer in
+/// the tracer's registry by owning thread id, so a tracer holds at most
+/// one buffer per thread no matter how the cache churns.
 struct TlsBufferRef {
   std::uint64_t tracer_id = 0;
   void* buffer = nullptr;
 };
-thread_local TlsBufferRef t_buffer_ref;
+struct TlsBufferCache {
+  static constexpr std::size_t kEntries = 8;
+  std::array<TlsBufferRef, kEntries> entries{};
+  std::size_t next_victim = 0;
+};
+thread_local TlsBufferCache t_buffer_cache;
 
 }  // namespace
+
+const char* category_name(Category cat) noexcept {
+  switch (cat) {
+    case Category::kBdm: return "bdm";
+    case Category::kHist: return "hist";
+    case Category::kCc: return "cc";
+    case Category::kImg: return "img";
+    case Category::kServe: return "serve";
+    case Category::kOther: return "other";
+  }
+  return "other";
+}
 
 Tracer::Tracer()
     : origin_(Clock::now()),
@@ -33,14 +58,33 @@ Tracer::Tracer()
 Tracer::~Tracer() = default;
 
 Tracer::Buffer& Tracer::local_buffer() {
-  if (t_buffer_ref.tracer_id == id_) {
-    return *static_cast<Buffer*>(t_buffer_ref.buffer);
+  for (const TlsBufferRef& ref : t_buffer_cache.entries) {
+    if (ref.tracer_id == id_) return *static_cast<Buffer*>(ref.buffer);
   }
   std::scoped_lock lock(registry_mutex_);
-  buffers_.push_back(std::make_unique<Buffer>());
-  Buffer& buffer = *buffers_.back();
-  t_buffer_ref = TlsBufferRef{id_, &buffer};
-  return buffer;
+  const std::thread::id me = std::this_thread::get_id();
+  Buffer* buffer = nullptr;
+  for (const auto& registered : buffers_) {
+    if (registered->owner == me) {
+      buffer = registered.get();
+      break;
+    }
+  }
+  if (buffer == nullptr) {
+    buffers_.push_back(std::make_unique<Buffer>());
+    buffer = buffers_.back().get();
+    buffer->owner = me;
+  }
+  TlsBufferRef& slot =
+      t_buffer_cache.entries[t_buffer_cache.next_victim++ %
+                             TlsBufferCache::kEntries];
+  slot = TlsBufferRef{id_, buffer};
+  return *buffer;
+}
+
+bool Tracer::admit_sampled(Category cat, std::uint32_t every) {
+  Buffer& buffer = local_buffer();
+  return buffer.seen[static_cast<std::size_t>(cat)]++ % every == 0;
 }
 
 void Tracer::record_span(const Span& span) {
@@ -86,7 +130,136 @@ void Tracer::clear() {
   for (auto& buffer : buffers_) {
     buffer->spans.clear();
     buffer->counters.clear();
+    buffer->seen.fill(0);  // restart the deterministic sampling sequence
   }
+}
+
+std::size_t Tracer::buffer_count() const {
+  std::scoped_lock lock(registry_mutex_);
+  return buffers_.size();
+}
+
+std::array<std::uint64_t, kNumCategories> Tracer::sampled_seen() const {
+  std::array<std::uint64_t, kNumCategories> totals{};
+  std::scoped_lock lock(registry_mutex_);
+  for (const auto& buffer : buffers_) {
+    for (std::size_t c = 0; c < kNumCategories; ++c) {
+      totals[c] += buffer->seen[c];
+    }
+  }
+  return totals;
+}
+
+namespace {
+
+[[nodiscard]] std::string_view trim(std::string_view s) {
+  while (!s.empty() &&
+         std::isspace(static_cast<unsigned char>(s.front())) != 0) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         std::isspace(static_cast<unsigned char>(s.back())) != 0) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+[[nodiscard]] std::string lowered(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+[[nodiscard]] bool iends_with(std::string_view s, std::string_view suffix) {
+  if (s.size() < suffix.size()) return false;
+  const std::string_view tail = s.substr(s.size() - suffix.size());
+  for (std::size_t i = 0; i < suffix.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(tail[i])) !=
+        std::tolower(static_cast<unsigned char>(suffix[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Apply one `cat=N` pair to `spec`; false (with spec.error set) on a
+/// malformed pair.
+bool apply_sampling_pair(std::string_view pair, EnvSpec& spec) {
+  const auto eq = pair.find('=');
+  if (eq == std::string_view::npos) {
+    spec.error = "expected cat=N, got \"" + std::string(pair) + "\"";
+    return false;
+  }
+  const std::string cat = lowered(trim(pair.substr(0, eq)));
+  const std::string_view value = trim(pair.substr(eq + 1));
+  char* end = nullptr;
+  const std::string value_str(value);
+  const unsigned long n = std::strtoul(value_str.c_str(), &end, 10);
+  if (value_str.empty() || end != value_str.c_str() + value_str.size() ||
+      n == 0 || n > 0xFFFFFFFFul) {
+    spec.error = "bad sampling rate in \"" + std::string(pair) + "\"";
+    return false;
+  }
+  const auto every = static_cast<std::uint32_t>(n);
+  if (cat == "kernels") {
+    spec.sampling.set(Category::kBdm, every);
+    spec.sampling.set(Category::kHist, every);
+    spec.sampling.set(Category::kCc, every);
+    spec.sampling.set(Category::kImg, every);
+    return true;
+  }
+  if (cat == "all") {
+    spec.sampling = SamplingPolicy::all(every);
+    return true;
+  }
+  for (std::size_t c = 0; c < kNumCategories; ++c) {
+    if (cat == category_name(static_cast<Category>(c))) {
+      spec.sampling.set(static_cast<Category>(c), every);
+      return true;
+    }
+  }
+  spec.error = "unknown trace category \"" + cat + "\"";
+  return false;
+}
+
+}  // namespace
+
+EnvSpec parse_trace_env(std::string_view value) {
+  EnvSpec spec;
+  const std::string_view trimmed = trim(value);
+  if (trimmed.empty()) return spec;
+  {
+    const std::string off = lowered(trimmed);
+    if (off == "0" || off == "off" || off == "false") return spec;
+  }
+  spec.enabled = true;
+
+  // First ':'-delimited token is the destination; the rest are cat=N
+  // pairs (',' and ':' both separate pairs, so `out.json:bdm=16,hist=8`
+  // and `out.json:bdm=16:hist=8` are equivalent).
+  const auto colon = trimmed.find(':');
+  const std::string_view destination = trim(trimmed.substr(0, colon));
+  if (iends_with(destination, ".json")) {
+    spec.json_path.assign(destination);
+  }
+  // A bare destination of "report" (or anything non-.json) keeps
+  // json_path empty: phase report to stderr.
+
+  std::string_view rest =
+      colon == std::string_view::npos ? std::string_view{}
+                                      : trimmed.substr(colon + 1);
+  while (!rest.empty()) {
+    const auto sep = rest.find_first_of(",:");
+    const std::string_view pair = trim(rest.substr(0, sep));
+    if (!pair.empty()) {
+      apply_sampling_pair(pair, spec);  // keeps going: typo != trace off
+    }
+    if (sep == std::string_view::npos) break;
+    rest.remove_prefix(sep + 1);
+  }
+  return spec;
 }
 
 namespace {
@@ -108,11 +281,6 @@ void flush_env_tracer() {
   write_phase_report(*tracer, splitc::host(), std::cerr);
 }
 
-bool ends_with(std::string_view s, std::string_view suffix) {
-  return s.size() >= suffix.size() &&
-         s.substr(s.size() - suffix.size()) == suffix;
-}
-
 }  // namespace
 
 Tracer* env_tracer() {
@@ -121,10 +289,15 @@ Tracer* env_tracer() {
   static Tracer* const tracer = []() -> Tracer* {
     const char* env = std::getenv("HISTCC_TRACE");
     if (env == nullptr) return nullptr;
-    const std::string_view value(env);
-    if (value.empty() || value == "0" || value == "off") return nullptr;
-    if (ends_with(value, ".json")) g_env_trace_path.assign(value);
+    const EnvSpec spec = parse_trace_env(env);
+    if (!spec.enabled) return nullptr;
+    if (!spec.error.empty()) {
+      std::cerr << "histcc::trace: HISTCC_TRACE: " << spec.error
+                << " (pair ignored)\n";
+    }
+    g_env_trace_path = spec.json_path;
     auto* t = new Tracer();  // NOLINT(cppcoreguidelines-owning-memory)
+    t->set_sampling(spec.sampling);
     std::atexit(flush_env_tracer);
     return t;
   }();

@@ -15,11 +15,13 @@
 #include <cmath>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <numeric>
 #include <random>
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "histcc/cc/label_prop.hpp"
@@ -755,3 +757,403 @@ TEST(PoolMetricsTest, InFlightGaugeTracksDequeueAndFinish) {
   rec.on_finish(sv::JobStatus::kDegraded, 1e-3, 1e-3);
   EXPECT_EQ(rec.in_flight(), 0u);
 }
+
+// ---------------------------------------------------------------------------
+// Per-category span sampling (SamplingPolicy / Tracer::should_record)
+
+namespace {
+
+/// Recorded span counts per name — the "inventory" two identical sampled
+/// runs must agree on.
+[[nodiscard]] std::map<std::string, std::size_t> span_inventory(
+    const tr::Tracer& tracer) {
+  std::map<std::string, std::size_t> counts;
+  for (const tr::Span& s : tracer.spans()) counts[std::string(s.name)]++;
+  return counts;
+}
+
+/// Spans in the four kernel categories (everything sampled by
+/// SamplingPolicy::kernels).
+[[nodiscard]] std::uint64_t kernel_span_count(const tr::Tracer& tracer) {
+  std::uint64_t n = 0;
+  for (const tr::Span& s : tracer.spans()) {
+    const tr::Category cat = tr::category_of(s.name);
+    if (cat != tr::Category::kServe && cat != tr::Category::kOther) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+TEST(SamplingTest, CategoryOfKeysOnNamePrefix) {
+  EXPECT_EQ(tr::category_of("bdm/get"), tr::Category::kBdm);
+  EXPECT_EQ(tr::category_of("hist/tally"), tr::Category::kHist);
+  EXPECT_EQ(tr::category_of("cc/init"), tr::Category::kCc);
+  EXPECT_EQ(tr::category_of("img/halo_exchange"), tr::Category::kImg);
+  EXPECT_EQ(tr::category_of("serve/run"), tr::Category::kServe);
+  EXPECT_EQ(tr::category_of("test/span"), tr::Category::kOther);
+  // Prefix matching must not read past a short or prefix-only name.
+  EXPECT_EQ(tr::category_of(""), tr::Category::kOther);
+  EXPECT_EQ(tr::category_of("b"), tr::Category::kOther);
+  EXPECT_EQ(tr::category_of("hist"), tr::Category::kOther);
+  EXPECT_EQ(tr::category_of("histx/y"), tr::Category::kOther);
+}
+
+TEST(SamplingTest, EveryNthSpanRecordedFirstAlways) {
+  tr::Tracer tracer;
+  tracer.set_sampling(tr::SamplingPolicy::kernels(4));
+  for (int i = 0; i < 10; ++i) {
+    TRACE_SCOPE(&tracer, "bdm/get");
+  }
+  // 10 calls at 1/4: indices 0, 4, 8 admitted — the first always is.
+  EXPECT_EQ(spans_named(tracer, "bdm/get").size(), 3u);
+  // Categories left at rate 1 are untouched.
+  for (int i = 0; i < 5; ++i) {
+    TRACE_SCOPE(&tracer, "serve/run");
+    TRACE_SCOPE(&tracer, "test/other");
+  }
+  EXPECT_EQ(spans_named(tracer, "serve/run").size(), 5u);
+  EXPECT_EQ(spans_named(tracer, "test/other").size(), 5u);
+}
+
+TEST(SamplingTest, SharedCategoryCounterSpansNames) {
+  // Sampling is per category, not per name: alternating bdm spans share
+  // one 1/2 counter, so the even stream positions (all gets) are kept.
+  tr::Tracer tracer;
+  tracer.set_sampling(tr::SamplingPolicy::kernels(2));
+  for (int i = 0; i < 4; ++i) {
+    {
+      TRACE_SCOPE(&tracer, "bdm/get");
+    }
+    {
+      TRACE_SCOPE(&tracer, "bdm/put");
+    }
+  }
+  EXPECT_EQ(spans_named(tracer, "bdm/get").size(), 4u);
+  EXPECT_EQ(spans_named(tracer, "bdm/put").size(), 0u);
+}
+
+TEST(SamplingTest, ClearRestartsTheSamplingSequence) {
+  tr::Tracer tracer;
+  tracer.set_sampling(tr::SamplingPolicy::kernels(4));
+  for (int i = 0; i < 6; ++i) {
+    TRACE_SCOPE(&tracer, "bdm/get");
+  }
+  EXPECT_EQ(tracer.spans().size(), 2u);  // indices 0 and 4
+  tracer.clear();
+  for (int i = 0; i < 6; ++i) {
+    TRACE_SCOPE(&tracer, "bdm/get");
+  }
+  // Identical sequence after clear(): same inventory, not a phase-shifted
+  // continuation of the old counter.
+  EXPECT_EQ(tracer.spans().size(), 2u);
+}
+
+TEST(SamplingTest, ZeroRateIsCoercedToOne) {
+  tr::Tracer tracer;
+  tr::SamplingPolicy policy;
+  policy.set(tr::Category::kBdm, 0);  // 0 would divide by zero; means "off"
+  tracer.set_sampling(policy);
+  EXPECT_EQ(tracer.sample_every(tr::Category::kBdm), 1u);
+  for (int i = 0; i < 3; ++i) {
+    TRACE_SCOPE(&tracer, "bdm/get");
+  }
+  EXPECT_EQ(tracer.spans().size(), 3u);
+}
+
+TEST(SamplingTest, MachineRunsSampleDeterministically) {
+  // Fixed schedule + fixed rate => identical span inventory run over run
+  // (each rank's span sequence is program order, and fresh machines start
+  // every per-thread counter at zero).
+  tr::Tracer a;
+  tr::Tracer b;
+  a.set_sampling(tr::SamplingPolicy::kernels(16));
+  b.set_sampling(tr::SamplingPolicy::kernels(16));
+  trace_darpa_histogram(a);
+  trace_darpa_histogram(b);
+  EXPECT_EQ(span_inventory(a), span_inventory(b));
+}
+
+TEST(SamplingTest, RescaledKernelInventoryBracketsUnsampled) {
+  tr::Tracer full;
+  tr::Tracer sampled;
+  constexpr std::uint64_t kEvery = 16;
+  sampled.set_sampling(tr::SamplingPolicy::kernels(kEvery));
+  trace_darpa_histogram(full);
+  trace_darpa_histogram(sampled);
+
+  const std::uint64_t exact = kernel_span_count(full);
+  const std::uint64_t rescaled = kernel_span_count(sampled) * kEvery;
+  ASSERT_GT(exact, 0u);
+  // Per (thread, category) the first span is always admitted, so the
+  // rescaled estimate is >= the truth and overshoots by < N-1 per
+  // recording stream: 5 threads (4 ranks + host) x 4 kernel categories.
+  EXPECT_GE(rescaled, exact);
+  EXPECT_LE(rescaled, exact + (kEvery - 1) * 5 * 4);
+}
+
+TEST(SamplingTest, EffectiveRateRescalesCategoryTotalsExactly) {
+  // The phase report rescales by the measured decimation factor
+  // (spans seen / spans recorded per category), not the nominal N:
+  // summing a category's rescaled span counts must reproduce the
+  // unsampled inventory of the identical deterministic run exactly —
+  // nominal xN cannot (see the bracket bound above).
+  tr::Tracer full;
+  tr::Tracer sampled;
+  sampled.set_sampling(tr::SamplingPolicy::kernels(16));
+  trace_darpa_histogram(full);
+  trace_darpa_histogram(sampled);
+
+  double rescaled = 0.0;
+  for (const tr::PhaseRow& row : tr::phase_breakdown(sampled, splitc::cm5())) {
+    const tr::Category cat = tr::category_of(row.name.c_str());
+    if (cat != tr::Category::kServe && cat != tr::Category::kOther) {
+      EXPECT_GE(row.effective_rate, 1.0) << row.name;
+      EXPECT_LE(row.effective_rate, 16.0) << row.name;
+      rescaled += static_cast<double>(row.spans) * row.effective_rate;
+    }
+  }
+  EXPECT_NEAR(rescaled, static_cast<double>(kernel_span_count(full)), 1e-6);
+}
+
+TEST(SamplingTest, PhaseBreakdownCarriesSampleRateAndReportRescales) {
+  tr::Tracer tracer;
+  tracer.set_sampling(tr::SamplingPolicy::kernels(16));
+  trace_darpa_histogram(tracer);
+
+  const auto rows = tr::phase_breakdown(tracer, splitc::cm5());
+  ASSERT_FALSE(rows.empty());
+  bool saw_hist = false;
+  for (const tr::PhaseRow& row : rows) {
+    if (tr::category_of(row.name.c_str()) == tr::Category::kHist) {
+      EXPECT_EQ(row.sample_every, 16u) << row.name;
+      saw_hist = true;
+    }
+  }
+  EXPECT_TRUE(saw_hist);
+
+  std::ostringstream out;
+  tr::write_phase_report(tracer, splitc::cm5(), out);
+  const std::string report = out.str();
+  EXPECT_NE(report.find("x16"), std::string::npos)
+      << "sampled rows must carry their rate marker";
+  EXPECT_NE(report.find("rescaled"), std::string::npos)
+      << "report must explain the rescaling";
+}
+
+TEST(SamplingTest, ChromeJsonRecordsSamplingRates) {
+  tr::Tracer tracer;
+  tracer.set_sampling(tr::SamplingPolicy::kernels(16));
+  trace_darpa_histogram(tracer);
+
+  std::ostringstream out;
+  tr::write_chrome_json(tracer, out);
+  bool ok = false;
+  JsonParser parser(out.str());
+  const JsonValue root = parser.parse(ok);
+  ASSERT_TRUE(ok) << "sampled export emitted malformed JSON";
+
+  const JsonValue* other = root.find("otherData");
+  ASSERT_NE(other, nullptr);
+  const JsonValue* sampling = other->find("sampling");
+  ASSERT_NE(sampling, nullptr) << "sampled trace must declare its rates";
+  const JsonValue* hist_rate = sampling->find("hist");
+  ASSERT_NE(hist_rate, nullptr);
+  EXPECT_DOUBLE_EQ(hist_rate->number, 16.0);
+  // Unsampled categories are omitted rather than written as 1.
+  EXPECT_EQ(sampling->find("serve"), nullptr);
+}
+
+TEST(ServeTraceTest, KernelSamplingKeepsJobSpansExact) {
+  const auto image = im::make_darpa_like(192);
+  constexpr int kJobs = 3;
+  const auto run_jobs = [&](tr::Tracer& tracer,
+                            std::uint32_t trace_sample_every) {
+    sv::PipelineOptions options;
+    options.pool_size = 1;
+    options.max_procs = 4;
+    options.trace = &tracer;
+    options.trace_sample_every = trace_sample_every;
+    sv::Pipeline pipeline(options);
+    for (int i = 0; i < kJobs; ++i) {
+      ASSERT_EQ(pipeline.submit_histogram(image, 256).result.get().status,
+                sv::JobStatus::kOk);
+    }
+    pipeline.shutdown();
+  };
+
+  tr::Tracer full;
+  run_jobs(full, 1);
+  tr::Tracer sampled;
+  run_jobs(sampled, 16);
+
+  // Per-job accounting never sampled: one queue/run span per job.
+  for (const char* name : {"serve/queue", "serve/run"}) {
+    EXPECT_EQ(spans_named(sampled, name).size(),
+              static_cast<std::size_t>(kJobs))
+        << name;
+  }
+  // Kernel spans decimated but not extinguished.
+  const std::uint64_t kernels_full = kernel_span_count(full);
+  const std::uint64_t kernels_sampled = kernel_span_count(sampled);
+  EXPECT_GT(kernels_sampled, 0u);
+  EXPECT_LT(kernels_sampled, kernels_full);
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread buffer registry (TLS cache reuse)
+
+TEST(TracerBufferTest, AlternatingBetweenTracersReusesOneBufferEach) {
+  // Regression: the old single-entry TLS cache registered a fresh buffer
+  // on every switch between two live tracers, so a long-lived worker
+  // alternating per-job tracers leaked one buffer per span.
+  tr::Tracer a;
+  tr::Tracer b;
+  for (int i = 0; i < 64; ++i) {
+    {
+      TRACE_SCOPE(&a, "test/a");
+    }
+    {
+      TRACE_SCOPE(&b, "test/b");
+    }
+  }
+  EXPECT_EQ(a.buffer_count(), 1u);
+  EXPECT_EQ(b.buffer_count(), 1u);
+  EXPECT_EQ(a.spans().size(), 64u);
+  EXPECT_EQ(b.spans().size(), 64u);
+}
+
+TEST(TracerBufferTest, CacheEvictionDoesNotDuplicateBuffers) {
+  // More live tracers than TLS cache slots: eviction forces the slow
+  // path, which must re-find the registered buffer, not grow a new one.
+  constexpr int kTracers = 12;
+  constexpr int kRounds = 4;
+  std::vector<std::unique_ptr<tr::Tracer>> tracers;
+  tracers.reserve(kTracers);
+  for (int i = 0; i < kTracers; ++i) {
+    tracers.push_back(std::make_unique<tr::Tracer>());
+  }
+  for (int round = 0; round < kRounds; ++round) {
+    for (auto& t : tracers) {
+      TRACE_SCOPE(t.get(), "test/evict");
+    }
+  }
+  for (const auto& t : tracers) {
+    EXPECT_EQ(t->buffer_count(), 1u);
+    EXPECT_EQ(t->spans().size(), static_cast<std::size_t>(kRounds));
+  }
+}
+
+TEST(TracerBufferTest, OneBufferPerRecordingThread) {
+  tr::Tracer tracer;
+  constexpr int kThreads = 3;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&tracer] {
+      for (int j = 0; j < 10; ++j) {
+        TRACE_SCOPE(&tracer, "test/worker");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(tracer.buffer_count(), static_cast<std::size_t>(kThreads));
+  EXPECT_EQ(tracer.spans().size(), kThreads * 10u);
+}
+
+// ---------------------------------------------------------------------------
+// HISTCC_TRACE parsing (parse_trace_env)
+
+TEST(TraceEnvTest, DisabledSpellingsAreCaseAndWhitespaceInsensitive) {
+  for (const char* v :
+       {"", "  ", "0", " 0 ", "off", "OFF", "Off", "\toff\n", "false",
+        "False", "FALSE"}) {
+    EXPECT_FALSE(tr::parse_trace_env(v).enabled) << "\"" << v << "\"";
+  }
+}
+
+TEST(TraceEnvTest, DestinationSelectsJsonOrStderrReport) {
+  {
+    const tr::EnvSpec spec = tr::parse_trace_env("1");
+    EXPECT_TRUE(spec.enabled);
+    EXPECT_TRUE(spec.json_path.empty());  // stderr phase report
+    EXPECT_TRUE(spec.error.empty());
+    EXPECT_EQ(spec.sampling, tr::SamplingPolicy{});
+  }
+  {
+    const tr::EnvSpec spec = tr::parse_trace_env("trace.json");
+    EXPECT_TRUE(spec.enabled);
+    EXPECT_EQ(spec.json_path, "trace.json");
+  }
+  {
+    // Extension match is case-insensitive (the old parser sent
+    // trace.JSON to the stderr report).
+    const tr::EnvSpec spec = tr::parse_trace_env(" out/Trace.JSON ");
+    EXPECT_TRUE(spec.enabled);
+    EXPECT_EQ(spec.json_path, "out/Trace.JSON");
+  }
+  {
+    const tr::EnvSpec spec = tr::parse_trace_env("report");
+    EXPECT_TRUE(spec.enabled);
+    EXPECT_TRUE(spec.json_path.empty());
+  }
+}
+
+TEST(TraceEnvTest, SamplingPairsParse) {
+  {
+    const tr::EnvSpec spec = tr::parse_trace_env("trace.json:bdm=16");
+    EXPECT_EQ(spec.json_path, "trace.json");
+    EXPECT_EQ(spec.sampling.of(tr::Category::kBdm), 16u);
+    EXPECT_EQ(spec.sampling.of(tr::Category::kHist), 1u);
+    EXPECT_TRUE(spec.error.empty());
+  }
+  {
+    const tr::EnvSpec spec = tr::parse_trace_env("report:kernels=8,serve=2");
+    EXPECT_TRUE(spec.json_path.empty());
+    for (const tr::Category cat :
+         {tr::Category::kBdm, tr::Category::kHist, tr::Category::kCc,
+          tr::Category::kImg}) {
+      EXPECT_EQ(spec.sampling.of(cat), 8u);
+    }
+    EXPECT_EQ(spec.sampling.of(tr::Category::kServe), 2u);
+    EXPECT_EQ(spec.sampling.of(tr::Category::kOther), 1u);
+  }
+  {
+    const tr::EnvSpec spec = tr::parse_trace_env("trace.json:all=4");
+    for (std::size_t c = 0; c < tr::kNumCategories; ++c) {
+      EXPECT_EQ(spec.sampling.of(static_cast<tr::Category>(c)), 4u);
+    }
+  }
+  {
+    // ':' and ',' both separate pairs.
+    const tr::EnvSpec spec = tr::parse_trace_env("trace.json:bdm=16:hist=8");
+    EXPECT_EQ(spec.sampling.of(tr::Category::kBdm), 16u);
+    EXPECT_EQ(spec.sampling.of(tr::Category::kHist), 8u);
+  }
+}
+
+TEST(TraceEnvTest, MalformedPairsKeepTracingOnAndReportTheError) {
+  {
+    const tr::EnvSpec spec = tr::parse_trace_env("trace.json:bogus=4");
+    EXPECT_TRUE(spec.enabled);  // a typo must not silently disable tracing
+    EXPECT_EQ(spec.json_path, "trace.json");
+    EXPECT_FALSE(spec.error.empty());
+  }
+  {
+    const tr::EnvSpec spec = tr::parse_trace_env("trace.json:bdm=0");
+    EXPECT_TRUE(spec.enabled);
+    EXPECT_FALSE(spec.error.empty());
+    EXPECT_EQ(spec.sampling.of(tr::Category::kBdm), 1u);
+  }
+  {
+    const tr::EnvSpec spec = tr::parse_trace_env("trace.json:bdm");
+    EXPECT_FALSE(spec.error.empty());
+  }
+  {
+    // A bad pair must not clobber a good one.
+    const tr::EnvSpec spec = tr::parse_trace_env("trace.json:bdm=16,bogus");
+    EXPECT_EQ(spec.sampling.of(tr::Category::kBdm), 16u);
+    EXPECT_FALSE(spec.error.empty());
+  }
+}
+

@@ -40,6 +40,7 @@ struct Report {
   std::string bench;
   int schema_version = 0;
   std::string git_sha;
+  std::string build_preset;
   std::vector<Record> results;
 };
 
@@ -154,6 +155,7 @@ std::optional<Report> parse_report(const std::string& text,
       }
       if (*key == "bench") report.bench = *value;
       if (*key == "git_sha") report.git_sha = *value;
+      if (*key == "build_preset") report.build_preset = *value;
     } else {
       auto value = parse_number(c);
       if (!value) {
@@ -247,6 +249,23 @@ int main(int argc, char** argv) {
                  baseline->bench.c_str(), current->bench.c_str());
     return 2;
   }
+  // Unknown provenance makes a delta unattributable (which flags, which
+  // optimization level?).  Warn here; committed baselines are held to a
+  // harder line by tools/check.sh bench-diff, which fails on it.
+  const auto warn_provenance = [](const char* which, const char* path,
+                                  const Report& report) {
+    if (report.build_preset.empty() || report.build_preset == "unknown") {
+      std::fprintf(stderr,
+                   "bench_diff: warning: %s %s has build_preset \"%s\" — "
+                   "numbers are not attributable to a build configuration "
+                   "(re-run the bench from a CMake preset build)\n",
+                   which, path,
+                   report.build_preset.empty() ? "(missing)"
+                                               : report.build_preset.c_str());
+    }
+  };
+  warn_provenance("baseline", baseline_path, *baseline);
+  warn_provenance("current", current_path, *current);
 
   std::map<std::string, const Record*> current_by_name;
   for (const Record& r : current->results) current_by_name[r.name] = &r;

@@ -90,6 +90,19 @@ assert d["traceEvents"], "no trace events"' build/trace_smoke.json ||
 # of the committed BENCH_*.json baselines (exercises the parser on real
 # reports; threshold 0 because a file always equals itself).
 run_bench_diff() {
+  # Committed baselines must carry real provenance: a "build_preset":
+  # "unknown" baseline makes every future delta unattributable.  Refresh
+  # the file from a preset build (cmake --preset plain) before committing.
+  note "bench-diff: committed baseline provenance"
+  local f
+  for f in BENCH_host.json BENCH_pipeline.json; do
+    if grep -q '"build_preset": *"unknown"' "${f}"; then
+      echo "committed ${f} has build_preset \"unknown\" — refresh it from" \
+           "a preset build" >&2
+      record bench-diff FAIL "unknown provenance in ${f}"
+      return
+    fi
+  done
   note "bench-diff: building plain preset"
   cmake --preset plain >/dev/null ||
     { record bench-diff FAIL "configure"; return; }
